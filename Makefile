@@ -1,0 +1,43 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all test vet bench race cover report tables figures examples loc
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=NONE .
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate EXPERIMENTS.md at full paper scale.
+report:
+	$(GO) run ./cmd/tdreport
+
+tables:
+	$(GO) run ./cmd/tdtables
+
+figures:
+	$(GO) run ./cmd/tdfigures -out figures
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/datacenter
+	$(GO) run ./examples/billing
+	$(GO) run ./examples/phases
+	$(GO) run ./examples/thermal
+	$(GO) run ./examples/governor
+
+loc:
+	find . -name '*.go' | xargs wc -l | tail -1

@@ -1,0 +1,178 @@
+package trickledown_test
+
+import (
+	"testing"
+
+	"trickledown/internal/core"
+	"trickledown/internal/machine"
+	"trickledown/internal/power"
+)
+
+// TestModelSelectionNarrative asserts the quantitative core of the
+// paper's Sections 4.2.3/4.2.4 model selection: interrupt-driven models
+// win for disk and I/O, and uncacheable-access models lose badly once
+// the DC offset is removed.
+func TestModelSelectionNarrative(t *testing.T) {
+	train, err := machine.RunWorkload("diskload", 120, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval, err := machine.RunWorkload("diskload", 120, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fit := func(spec core.ModelSpec) *core.Model {
+		t.Helper()
+		m, err := core.Train(spec, train)
+		if err != nil {
+			t.Fatalf("training %s: %v", spec.Name, err)
+		}
+		return m
+	}
+	dcErr := func(m *core.Model, dc float64) float64 {
+		t.Helper()
+		e, err := m.ValidateOffset(eval, dc)
+		if err != nil {
+			t.Fatalf("validating %s: %v", m.Spec.Name, err)
+		}
+		return e
+	}
+
+	diskDC := power.DiskIdlePower(2)
+	disk := dcErr(fit(core.DiskSpec()), diskDC)
+	diskUC := dcErr(fit(core.DiskUncacheableSpec()), diskDC)
+	if diskUC < 4*disk {
+		t.Errorf("uncacheable disk model error %.1f%% should dwarf Eq.4's %.1f%%", diskUC, disk)
+	}
+
+	io := dcErr(fit(core.IOSpec()), power.IOBasePower)
+	ioUC := dcErr(fit(core.IOUncacheableSpec()), power.IOBasePower)
+	if ioUC < 4*io {
+		t.Errorf("uncacheable I/O model error %.1f%% should dwarf Eq.5's %.1f%%", ioUC, io)
+	}
+
+	// Raw-error ordering: the production models beat the rejected DMA
+	// variants on the training-style workload.
+	rawErr := func(m *core.Model) float64 {
+		e, err := m.Validate(eval)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	if d, alt := rawErr(fit(core.DiskSpec())), rawErr(fit(core.DiskDMASpec())); alt < d {
+		t.Errorf("DMA-only disk model (%.3f%%) beat Eq.4 (%.3f%%)", alt, d)
+	}
+}
+
+// TestHeadlineClaim asserts the paper's abstract: the five models
+// estimate subsystem power "with an average error of less than 9% per
+// subsystem" across the full workload set.
+func TestHeadlineClaim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full validation sweep")
+	}
+	gcc, err := machine.RunWorkload("gcc", 180, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcf, err := machine.RunWorkload("mcf", 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := machine.RunWorkload("diskload", 150, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.TrainEstimator(core.TrainingSet{
+		CPU: gcc, Memory: mcf, Disk: dl, IO: dl, Chipset: gcc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	workloads := []string{
+		"idle", "gcc", "mcf", "vortex", "art", "lucas", "mesa", "mgrid",
+		"wupwise", "dbt-2", "specjbb", "diskload",
+	}
+	sums := make(map[power.Subsystem]float64)
+	for _, name := range workloads {
+		ds, err := machine.RunWorkload(name, 120, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range power.Subsystems() {
+			e, err := est.Model(s).Validate(ds)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", s, name, err)
+			}
+			sums[s] += e
+		}
+	}
+	for _, s := range power.Subsystems() {
+		avg := sums[s] / float64(len(workloads))
+		if avg >= 9 {
+			t.Errorf("%s average error %.2f%% breaks the <9%% headline", s, avg)
+		}
+	}
+}
+
+// TestPaperModelSelectionReproduced mechanizes Section 3.3.1 end to end:
+// given the paper's candidate event sets and its training/holdout
+// workloads, cross-validated selection arrives at the paper's published
+// choices (Eq. 3 for memory, Eq. 4 for disk, Eq. 5 for I/O).
+func TestPaperModelSelectionReproduced(t *testing.T) {
+	mesa, err := machine.RunWorkload("mesa", 200, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcf, err := machine.RunWorkload("mcf", 260, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := machine.RunWorkload("diskload", 150, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbt, err := machine.RunWorkload("dbt-2", 120, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Memory: train on mesa (the paper's first attempt), hold out mcf
+	// (the failure case). Selection must abandon the L3 model.
+	memBest, memRank, err := core.SelectModel(
+		[]core.ModelSpec{core.MemL3Spec(), core.MemBusSpec()}, mesa, mcf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memBest.Spec.Name != core.MemBusSpec().Name {
+		t.Errorf("memory selection picked %s; ranking %v", memBest.Spec.Name, memRank)
+	}
+
+	// Disk: train and hold out on disk-exercising traces; the interrupt
+	// +DMA model must beat the single-input rejects.
+	diskBest, diskRank, err := core.SelectModel(core.DiskCandidates(), dl, dbt, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diskBest.Spec.Name != core.DiskSpec().Name {
+		t.Errorf("disk selection picked %s; ranking %v", diskBest.Spec.Name, diskRank)
+	}
+
+	// I/O: the interrupt model must beat uncacheable accesses; DMA can
+	// tie on sequential traffic, so just require Eq.5 ranks above uc.
+	_, ioRank, err := core.SelectModel(core.IOCandidates(), dl, dbt, dl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, c := range ioRank {
+		if c.Model != nil {
+			pos[c.Model.Spec.Name] = i
+		}
+	}
+	if pos[core.IOSpec().Name] > pos[core.IOUncacheableSpec().Name] {
+		t.Errorf("I/O selection ranked uncacheable above interrupts: %v", ioRank)
+	}
+}

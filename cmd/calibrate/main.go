@@ -1,0 +1,66 @@
+// Command calibrate compares the simulated server's per-workload rail
+// power against the paper's Table 1, reporting both the full-run average
+// (which includes the staggered-start ramp) and the sustained level once
+// all instances are running. It is a development tool for tuning the
+// workload profiles.
+package main
+
+import (
+	"fmt"
+
+	"trickledown/internal/machine"
+	"trickledown/internal/power"
+	"trickledown/internal/workload"
+)
+
+var paper = map[string][5]float64{
+	"idle":     {38.4, 19.9, 28.1, 32.9, 21.6},
+	"gcc":      {162, 20.0, 34.2, 32.9, 21.8},
+	"mcf":      {167, 20.0, 39.6, 32.9, 21.9},
+	"vortex":   {175, 17.3, 35.0, 32.9, 21.9},
+	"art":      {159, 18.7, 35.8, 33.5, 21.9},
+	"lucas":    {135, 19.5, 46.4, 33.5, 22.1},
+	"mesa":     {165, 16.8, 33.9, 33.0, 21.8},
+	"mgrid":    {146, 19.0, 45.1, 32.9, 22.1},
+	"wupwise":  {167, 18.8, 45.2, 33.5, 22.1},
+	"dbt-2":    {48.3, 19.8, 29.0, 33.2, 21.6},
+	"specjbb":  {112, 18.7, 37.8, 32.9, 21.9},
+	"diskload": {123, 19.9, 42.5, 35.2, 22.2},
+}
+
+func main() {
+	fmt.Printf("%-9s %-9s  %7s %7s %7s %7s %7s\n", "workload", "series", "CPU", "Chip", "Mem", "IO", "Disk")
+	for _, name := range workload.TableOrder() {
+		spec, _ := workload.ByName(name)
+		srv, err := machine.New(machine.DefaultConfig(), spec)
+		if err != nil {
+			panic(err)
+		}
+		rampEnd := float64(spec.Instances-1)*spec.StaggerSec + 30
+		var sus power.Reading
+		var susN int64
+		srv.OnSlice(func(si machine.SliceInfo) {
+			if si.Seconds >= rampEnd {
+				for i, w := range si.Truth {
+					sus[i] += w
+				}
+				susN++
+			}
+		})
+		srv.Run(spec.DefaultDuration)
+		m := srv.TruthMean()
+		if susN > 0 {
+			for i := range sus {
+				sus[i] /= float64(susN)
+			}
+		}
+		p := paper[name]
+		row := func(label string, r [5]float64) {
+			fmt.Printf("%-9s %-9s  %7.1f %7.2f %7.1f %7.2f %7.2f\n",
+				name, label, r[0], r[1], r[2], r[3], r[4])
+		}
+		row("paper", p)
+		row("full-avg", [5]float64(m))
+		row("sustained", [5]float64(sus))
+	}
+}

@@ -1,0 +1,101 @@
+// Command tdfigures regenerates the paper's Figures 2-7: the
+// measured-vs-modeled power traces for each subsystem model and the
+// prefetch/non-prefetch bus-transaction sweep. Each figure is printed as
+// an ASCII plot and optionally written as CSV for external plotting.
+//
+// Usage:
+//
+//	tdfigures [-scale 1.0] [-seed 100] [-trainseed 10] [-out DIR] [-figure 2..7|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"trickledown/internal/experiments"
+	"trickledown/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdfigures: ")
+	scale := flag.Float64("scale", 1.0, "duration multiplier for every run")
+	seed := flag.Uint64("seed", 100, "seed for trace runs")
+	trainSeed := flag.Uint64("trainseed", 10, "seed for training runs")
+	outDir := flag.String("out", "", "directory for CSV output (omit to skip)")
+	figure := flag.String("figure", "all", "which figure to produce: 2, 3, 4, 5, 6, 7 or all")
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Options{
+		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale,
+	})
+
+	emit := func(name string, tr *trace.Trace, avgErr, paperErr float64) error {
+		if err := tr.WriteASCII(os.Stdout, trace.PlotOptions{Width: 110, Height: 18}); err != nil {
+			return err
+		}
+		if avgErr >= 0 {
+			fmt.Printf("average error: %.2f%% (paper: %.2f%%)\n", avgErr, paperErr)
+		}
+		fmt.Println()
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(*outDir, name+".csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return tr.WriteCSV(f)
+	}
+
+	figFn := func(get func() (*experiments.Figure, error), name string) func() error {
+		return func() error {
+			fig, err := get()
+			if err != nil {
+				return err
+			}
+			return emit(name, fig.Trace, fig.AvgErr, fig.PaperErr)
+		}
+	}
+	jobs := map[string]func() error{
+		"2": figFn(r.Figure2, "figure2"),
+		"3": figFn(r.Figure3, "figure3"),
+		"4": func() error {
+			tr, err := r.Figure4()
+			if err != nil {
+				return err
+			}
+			return emit("figure4", tr, -1, 0)
+		},
+		"5": func() error {
+			if err := figFn(r.Figure5, "figure5")(); err != nil {
+				return err
+			}
+			// The companion trace quantifies why Eq. 2 was abandoned.
+			return figFn(r.Figure5L3, "figure5_l3_failure")()
+		},
+		"6": figFn(r.Figure6, "figure6"),
+		"7": figFn(r.Figure7, "figure7"),
+	}
+	order := []string{"2", "3", "4", "5", "6", "7"}
+	ran := false
+	for _, name := range order {
+		if *figure != "all" && *figure != name {
+			continue
+		}
+		ran = true
+		if err := jobs[name](); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !ran {
+		log.Fatalf("unknown -figure %q", *figure)
+	}
+}

@@ -1,0 +1,190 @@
+// Command tdpower is the user-facing tool of the trickle-down library: a
+// sensorless system power meter for the simulated server. It trains the
+// paper's five subsystem models once, then runs any workload and streams
+// per-second power estimates next to the (normally invisible) measured
+// rail power.
+//
+// Usage:
+//
+//	tdpower [-workload gcc] [-seconds 120] [-seed 7] [-scale 0.5] [-percpu] [-quiet]
+//	tdpower -placement "gcc:0,gcc:1:30,dbt-2:2"   # heterogeneous placement wl:thread[:start]
+//	tdpower -record trace.csv ...     # save the aligned power+counter log
+//	tdpower -replay trace.csv ...     # analyze a recorded log instead of simulating
+//	tdpower -list
+//
+// The -percpu flag adds the Equation 1 per-processor attribution, the
+// paper's SMP accounting use case.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"trickledown/internal/align"
+	"trickledown/internal/core"
+	"trickledown/internal/experiments"
+	"trickledown/internal/machine"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+	"trickledown/internal/stats"
+	"trickledown/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdpower: ")
+	wl := flag.String("workload", "gcc", "workload to run (see -list)")
+	seconds := flag.Float64("seconds", 120, "run length in simulated seconds")
+	seed := flag.Uint64("seed", 7, "simulation seed")
+	scale := flag.Float64("scale", 0.5, "training-run duration multiplier")
+	perCPU := flag.Bool("percpu", false, "print per-processor CPU power attribution")
+	quiet := flag.Bool("quiet", false, "suppress the per-second stream, print only the summary")
+	list := flag.Bool("list", false, "list workloads and exit")
+	placement := flag.String("placement", "", `heterogeneous placement: comma-separated "workload:thread[:startSec]" (overrides -workload)`)
+	record := flag.String("record", "", "write the aligned power+counter log to this CSV file")
+	replay := flag.String("replay", "", "analyze a recorded CSV log instead of simulating")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(workload.TableOrder(), " "))
+		return
+	}
+
+	fmt.Printf("training models (scale %.2f)...\n", *scale)
+	runner := experiments.NewRunner(experiments.Options{Seed: 100, TrainSeed: 10, Scale: *scale})
+	est, err := runner.Estimator()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ds *align.Dataset
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err = align.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replaying %d samples from %s\n\n", ds.Len(), *replay)
+	} else {
+		cfg := machine.DefaultConfig()
+		cfg.Seed = *seed
+		var srv *machine.Server
+		var label string
+		if *placement != "" {
+			placements, err := parsePlacements(*placement)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if srv, err = machine.NewMixed(cfg, placements); err != nil {
+				log.Fatal(err)
+			}
+			label = "mixed [" + *placement + "]"
+		} else {
+			spec, err := workload.ByName(*wl)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if srv, err = machine.New(cfg, spec); err != nil {
+				log.Fatal(err)
+			}
+			label = spec.Name
+		}
+		fmt.Printf("running %s for %.0fs on %d CPUs x %d threads, %d disks\n\n",
+			label, *seconds, cfg.NumCPUs, cfg.ThreadsPerCPU, cfg.NumDisks)
+		srv.Run(*seconds)
+		if ds, err = srv.Dataset(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if ds.Len() == 0 {
+		log.Fatal("run produced no samples")
+	}
+	for _, issue := range core.CheckDataset(ds) {
+		fmt.Println("WARNING:", issue)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ds.WriteCSV(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recorded %d samples to %s\n", ds.Len(), *record)
+	}
+
+	if !*quiet {
+		header := fmt.Sprintf("%4s | %21s | %21s | %21s | %8s", "sec",
+			"CPU est/meas", "Memory est/meas", "I/O est/meas", "total")
+		fmt.Println(header)
+		fmt.Println(strings.Repeat("-", len(header)))
+	}
+	for i := range ds.Rows {
+		row := &ds.Rows[i]
+		estR := est.Estimate(&row.Counters)
+		if !*quiet {
+			fmt.Printf("%4.0f | %9.1f /%9.1f | %9.1f /%9.1f | %9.1f /%9.1f | %8.1f\n",
+				row.Counters.TargetSeconds,
+				estR[power.SubCPU], row.Power[power.SubCPU],
+				estR[power.SubMemory], row.Power[power.SubMemory],
+				estR[power.SubIO], row.Power[power.SubIO],
+				estR.Total())
+		}
+		if *perCPU {
+			printPerCPU(est, &row.Counters)
+		}
+	}
+
+	fmt.Println("\nper-subsystem average error (Eq. 6):")
+	for _, s := range power.Subsystems() {
+		measured, modeled := est.Model(s).Trace(ds)
+		e, err := stats.AverageError(modeled, measured)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %6.2f%%   (mean measured %.1f W)\n", s, e, stats.Mean(measured))
+	}
+}
+
+// parsePlacements parses "workload:thread[:startSec]" items.
+func parsePlacements(in string) ([]machine.Placement, error) {
+	var out []machine.Placement
+	for _, item := range strings.Split(in, ",") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("tdpower: bad placement %q (want workload:thread[:startSec])", item)
+		}
+		var pl machine.Placement
+		pl.Workload = parts[0]
+		if _, err := fmt.Sscanf(parts[1], "%d", &pl.Thread); err != nil {
+			return nil, fmt.Errorf("tdpower: bad thread in %q: %v", item, err)
+		}
+		if len(parts) == 3 {
+			if _, err := fmt.Sscanf(parts[2], "%g", &pl.StartSec); err != nil {
+				return nil, fmt.Errorf("tdpower: bad start in %q: %v", item, err)
+			}
+		}
+		out = append(out, pl)
+	}
+	return out, nil
+}
+
+func printPerCPU(est *core.Estimator, s *perfctr.Sample) {
+	per := est.PerCPUPower(s)
+	parts := make([]string, len(per))
+	for i, w := range per {
+		parts[i] = fmt.Sprintf("cpu%d %.1fW", i, w)
+	}
+	fmt.Printf("       attribution: %s\n", strings.Join(parts, "  "))
+}

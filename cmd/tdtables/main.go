@@ -1,0 +1,80 @@
+// Command tdtables regenerates the paper's Tables 1-4 (subsystem power
+// characterization and model validation errors) plus the fitted model
+// equations, printing our values next to the published ones.
+//
+// Usage:
+//
+//	tdtables [-scale 1.0] [-seed 100] [-trainseed 10] [-table 1|2|3|4|eq|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"trickledown/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdtables: ")
+	scale := flag.Float64("scale", 1.0, "duration multiplier for every run")
+	seed := flag.Uint64("seed", 100, "seed for validation runs")
+	trainSeed := flag.Uint64("trainseed", 10, "seed for training runs")
+	table := flag.String("table", "all", "which table to produce: 1, 2, 3, 4, eq or all")
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Options{
+		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale,
+	})
+
+	type job struct {
+		name string
+		run  func() error
+	}
+	renderTable := func(get func() (*experiments.Table, error)) func() error {
+		return func() error {
+			t, err := get()
+			if err != nil {
+				return err
+			}
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+			return nil
+		}
+	}
+	jobs := []job{
+		{"1", renderTable(r.Table1)},
+		{"2", renderTable(r.Table2)},
+		{"3", renderTable(r.Table3)},
+		{"4", renderTable(r.Table4)},
+		{"eq", func() error {
+			eqs, err := r.Equations()
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fitted models (coefficients are this machine's; the paper's embed its testbed):")
+			for _, e := range eqs {
+				fmt.Println("  " + e)
+			}
+			fmt.Println()
+			return nil
+		}},
+	}
+	ran := false
+	for _, j := range jobs {
+		if *table != "all" && *table != j.name {
+			continue
+		}
+		ran = true
+		if err := j.run(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if !ran {
+		log.Fatalf("unknown -table %q", *table)
+	}
+}

@@ -1,0 +1,18 @@
+// Package trickledown reproduces Bircher & John, "Complete System Power
+// Estimation: A Trickle-Down Approach Based on Performance Events"
+// (ISPASS 2007): five regression models driven only by microprocessor
+// performance events that estimate the power of a server's CPU, chipset,
+// memory, I/O and disk subsystems.
+//
+// The library lives under internal/: the paper's contribution is
+// internal/core (metrics, model forms Eq. 1-5, training, validation, the
+// bundled Estimator); everything the paper's evaluation depends on is
+// built as a substrate (simulated SMP server, DRAM, disks, OS,
+// sense-resistor DAQ, perfctr sampler); internal/experiments regenerates
+// every table and figure. See README.md for the map and EXPERIMENTS.md
+// for paper-vs-measured results.
+//
+// The benchmarks in bench_test.go regenerate each table and figure
+// (BenchmarkTable1..4, BenchmarkFigure2..7) and quantify the paper's
+// model-selection choices as ablations.
+package trickledown

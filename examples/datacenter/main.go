@@ -1,0 +1,156 @@
+// Datacenter: the paper's ensemble-management motivation (Section 1 and
+// the Rajamani/Ranganathan citations), built on internal/cluster. A rack
+// of simulated servers runs heterogeneous workloads; a manager that has
+// NO power sensors estimates each node's draw from performance counters,
+// checks the rack against a power budget, plans which nodes to
+// consolidate away, and then physically verifies the plan by
+// co-scheduling the evicted work onto a surviving node
+// (machine.NewMixed) and measuring the combined box.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trickledown/internal/cluster"
+	"trickledown/internal/core"
+	"trickledown/internal/machine"
+)
+
+const rackBudgetWatts = 800
+
+func main() {
+	log.SetFlags(0)
+
+	// Train the estimator once; the same model file ships to every node
+	// ("since the tool utilizes existing microprocessor performance
+	// counters, the cost of implementation is small").
+	fmt.Println("training the fleet's estimator...")
+	gcc, err := machine.RunWorkload("gcc", 180, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcf, err := machine.RunWorkload("mcf", 180, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dl, err := machine.RunWorkload("diskload", 150, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	est, err := core.TrainEstimator(core.TrainingSet{
+		CPU: gcc, Memory: mcf, Disk: dl, IO: dl, Chipset: gcc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The rack: a transaction node, two batch nodes, a Java middle tier,
+	// a storage node and an idle spare.
+	rack, err := cluster.New(est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, n := range []struct{ name, wl string }{
+		{"db01", "dbt-2"}, {"hpc01", "mgrid"}, {"hpc02", "wupwise"},
+		{"app01", "specjbb"}, {"store01", "diskload"}, {"spare01", "idle"},
+	} {
+		if _, err := rack.AddHomogeneous(n.name, n.wl, uint64(100+i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("\nrack of %d nodes, budget %d W; observing 90s of counters per node\n\n",
+		len(rack.Nodes()), rackBudgetWatts)
+	if err := rack.Run(90); err != nil {
+		log.Fatal(err)
+	}
+
+	snap, total, err := rack.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-9s %12s %12s %8s\n", "node", "est (W)", "meas (W)", "err")
+	for i, e := range snap {
+		meas, err := rack.Nodes()[i].MeasuredMean()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s %12.1f %12.1f %7.2f%%\n",
+			e.Name, e.Watts, meas, 100*abs(e.Watts-meas)/meas)
+	}
+	fmt.Printf("%-9s %12.1f\n\n", "rack", total)
+
+	acc, err := rack.VerifyAccuracy()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensorless accuracy across the rack: %.2f%%\n\n", acc)
+
+	// Plan against the budget.
+	plan := cluster.PlanConsolidation(snap, rackBudgetWatts)
+	if len(plan.Evict) == 0 {
+		fmt.Printf("estimated rack draw %.0f W is within the %d W budget; no action\n",
+			total, rackBudgetWatts)
+		return
+	}
+	fmt.Printf("estimated rack draw %.0f W exceeds the %d W budget\n", total, rackBudgetWatts)
+	for _, name := range plan.Evict {
+		fmt.Printf("  -> consolidate %s onto the remaining nodes and power it down\n", name)
+	}
+	fmt.Printf("projected draw after consolidation: %.0f W (fits: %v)\n\n", plan.Projected, plan.Fits)
+
+	// Physically verify: co-schedule the evicted dbt-2 workers onto the
+	// Java node and measure the combined box.
+	fmt.Println("verifying: co-scheduling dbt-2 onto app01 and measuring the combined node...")
+	verify, err := cluster.New(est)
+	if err != nil {
+		log.Fatal(err)
+	}
+	combined, err := verify.AddMixed("app01+db01", 500, []machine.Placement{
+		{Workload: "specjbb", Thread: 0},
+		{Workload: "specjbb", Thread: 1},
+		{Workload: "specjbb", Thread: 2},
+		{Workload: "specjbb", Thread: 3},
+		{Workload: "dbt-2", Thread: 4},
+		{Workload: "dbt-2", Thread: 5},
+		{Workload: "dbt-2", Thread: 6},
+		{Workload: "dbt-2", Thread: 7},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := verify.Run(90); err != nil {
+		log.Fatal(err)
+	}
+	combEst, err := combined.EstimatedMean()
+	if err != nil {
+		log.Fatal(err)
+	}
+	combMeas, err := combined.MeasuredMean()
+	if err != nil {
+		log.Fatal(err)
+	}
+	separate := watts(snap, "app01") + watts(snap, "db01")
+	fmt.Printf("  consolidated node: estimated %.0f W, measured %.0f W\n", combEst, combMeas)
+	fmt.Printf("  the two separate nodes drew %.0f W — consolidation nets %.0f W (%.0f%%)\n",
+		separate, separate-combMeas, 100*(separate-combMeas)/separate)
+}
+
+// watts finds a node's estimate in a snapshot.
+func watts(snap []cluster.Estimate, name string) float64 {
+	for _, e := range snap {
+		if e.Name == name {
+			return e.Watts
+		}
+	}
+	return 0
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,89 @@
+// Quickstart: build the simulated server, run a workload, train the
+// paper's trickle-down models, and estimate complete system power from
+// performance counters alone.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trickledown/internal/core"
+	"trickledown/internal/machine"
+	"trickledown/internal/power"
+	"trickledown/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Gather training traces: gcc for the CPU model (Eq. 1), mcf for
+	// the memory bus model (Eq. 3), DiskLoad for disk and I/O (Eq. 4/5).
+	fmt.Println("collecting training traces...")
+	gcc, err := machine.RunWorkload("gcc", 180, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mcf, err := machine.RunWorkload("mcf", 180, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	diskload, err := machine.RunWorkload("diskload", 150, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Fit the five subsystem models.
+	est, err := core.TrainEstimator(core.TrainingSet{
+		CPU: gcc, Memory: mcf, Disk: diskload, IO: diskload, Chipset: gcc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfitted models:")
+	for _, s := range power.Subsystems() {
+		fmt.Println("  ", est.Model(s))
+	}
+
+	// 3. Run a different workload and estimate its power without any
+	// power sensors — counters only.
+	spec, err := workload.ByName("specjbb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Seed = 42
+	srv, err := machine.New(cfg, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Run(90)
+	ds, err := srv.Dataset()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nspecjbb, estimated vs measured (W):")
+	fmt.Printf("%4s %10s %10s %10s %10s\n", "sec", "CPU est", "CPU meas", "total est", "total meas")
+	for i, row := range ds.Rows {
+		if i%10 != 0 {
+			continue
+		}
+		e := est.Estimate(&row.Counters)
+		fmt.Printf("%4.0f %10.1f %10.1f %10.1f %10.1f\n",
+			row.Counters.TargetSeconds,
+			e[power.SubCPU], row.Power[power.SubCPU],
+			e.Total(), row.Power.Total())
+	}
+
+	// 4. Overall accuracy.
+	fmt.Println("\naverage error per subsystem (Eq. 6):")
+	for _, s := range power.Subsystems() {
+		errPct, err := est.Model(s).Validate(ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %5.2f%%\n", s, errPct)
+	}
+}

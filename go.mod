@@ -1,0 +1,3 @@
+module trickledown
+
+go 1.22

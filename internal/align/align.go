@@ -1,0 +1,90 @@
+// Package align performs the paper's offline merge: the DAQ's averaged
+// power windows and the target's counter samples are produced by two
+// unsynchronized machines, and the single-byte serial sync pulse is the
+// only common signal. Each counter sample emits one pulse; each pulse
+// closes one DAQ averaging window; so pairing is by pulse order ("using
+// the synchronization information, the data was analyzed offline").
+package align
+
+import (
+	"errors"
+	"fmt"
+
+	"trickledown/internal/daq"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// ErrMismatch is returned when the two logs cannot be paired.
+var ErrMismatch = errors.New("align: daq and counter logs do not pair")
+
+// Row is one aligned observation: average rail power over a counter
+// interval plus the counter deltas for the same interval.
+type Row struct {
+	Power    power.Reading
+	Counters perfctr.Sample
+}
+
+// Dataset is an aligned trace.
+type Dataset struct {
+	Rows []Row
+}
+
+// Merge pairs DAQ records with counter samples by sync-pulse order. The
+// logs may differ by at most one trailing entry (a run stopped between a
+// sample and its acquisition window); anything worse is an error.
+func Merge(records []daq.Record, samples []perfctr.Sample) (*Dataset, error) {
+	n := len(records)
+	if len(samples) < n {
+		n = len(samples)
+	}
+	diff := len(records) - len(samples)
+	if diff < -1 || diff > 1 {
+		return nil, fmt.Errorf("%w: %d power windows vs %d counter samples",
+			ErrMismatch, len(records), len(samples))
+	}
+	ds := &Dataset{Rows: make([]Row, 0, n)}
+	var lastT float64
+	for i := 0; i < n; i++ {
+		if i > 0 && samples[i].TargetSeconds <= lastT {
+			return nil, fmt.Errorf("%w: counter timestamps not increasing at %d", ErrMismatch, i)
+		}
+		lastT = samples[i].TargetSeconds
+		ds.Rows = append(ds.Rows, Row{Power: records[i].Mean, Counters: samples[i]})
+	}
+	return ds, nil
+}
+
+// PowerColumn extracts one subsystem's measured power series.
+func (d *Dataset) PowerColumn(s power.Subsystem) []float64 {
+	out := make([]float64, len(d.Rows))
+	for i, r := range d.Rows {
+		out[i] = r.Power[s]
+	}
+	return out
+}
+
+// Skip returns a dataset without the first n rows (warmup trimming).
+func (d *Dataset) Skip(n int) *Dataset {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(d.Rows) {
+		n = len(d.Rows)
+	}
+	return &Dataset{Rows: d.Rows[n:]}
+}
+
+// Len returns the number of aligned rows.
+func (d *Dataset) Len() int { return len(d.Rows) }
+
+// Concat joins datasets into one (multi-workload validation pools).
+func Concat(ds ...*Dataset) *Dataset {
+	out := &Dataset{}
+	for _, d := range ds {
+		if d != nil {
+			out.Rows = append(out.Rows, d.Rows...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package align
+
+import (
+	"errors"
+	"testing"
+
+	"trickledown/internal/daq"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+func mkRecords(n int) []daq.Record {
+	out := make([]daq.Record, n)
+	for i := range out {
+		out[i] = daq.Record{DAQSeconds: float64(i + 1), Mean: power.Reading{float64(i), 0, 0, 0, 0}}
+	}
+	return out
+}
+
+func mkSamples(n int) []perfctr.Sample {
+	out := make([]perfctr.Sample, n)
+	for i := range out {
+		out[i] = perfctr.Sample{TargetSeconds: float64(i + 1), IntervalSec: 1}
+	}
+	return out
+}
+
+func TestMergePairsInOrder(t *testing.T) {
+	ds, err := Merge(mkRecords(5), mkSamples(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 5 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	for i, row := range ds.Rows {
+		if row.Power[power.SubCPU] != float64(i) {
+			t.Errorf("row %d power = %v", i, row.Power[power.SubCPU])
+		}
+		if row.Counters.TargetSeconds != float64(i+1) {
+			t.Errorf("row %d sample time = %v", i, row.Counters.TargetSeconds)
+		}
+	}
+}
+
+func TestMergeToleratesOneTrailing(t *testing.T) {
+	ds, err := Merge(mkRecords(5), mkSamples(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 5 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+	ds, err = Merge(mkRecords(6), mkSamples(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 5 {
+		t.Errorf("Len = %d", ds.Len())
+	}
+}
+
+func TestMergeRejectsBigMismatch(t *testing.T) {
+	if _, err := Merge(mkRecords(5), mkSamples(9)); !errors.Is(err, ErrMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMergeRejectsNonMonotonicSamples(t *testing.T) {
+	samples := mkSamples(3)
+	samples[2].TargetSeconds = samples[1].TargetSeconds
+	if _, err := Merge(mkRecords(3), samples); !errors.Is(err, ErrMismatch) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestPowerColumn(t *testing.T) {
+	ds, _ := Merge(mkRecords(3), mkSamples(3))
+	col := ds.PowerColumn(power.SubCPU)
+	if len(col) != 3 || col[2] != 2 {
+		t.Errorf("column = %v", col)
+	}
+}
+
+func TestSkip(t *testing.T) {
+	ds, _ := Merge(mkRecords(5), mkSamples(5))
+	if got := ds.Skip(2).Len(); got != 3 {
+		t.Errorf("Skip(2).Len = %d", got)
+	}
+	if got := ds.Skip(-1).Len(); got != 5 {
+		t.Errorf("Skip(-1).Len = %d", got)
+	}
+	if got := ds.Skip(99).Len(); got != 0 {
+		t.Errorf("Skip(99).Len = %d", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a, _ := Merge(mkRecords(2), mkSamples(2))
+	b, _ := Merge(mkRecords(3), mkSamples(3))
+	if got := Concat(a, nil, b).Len(); got != 5 {
+		t.Errorf("Concat Len = %d", got)
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	ds, err := Merge(nil, nil)
+	if err != nil || ds.Len() != 0 {
+		t.Errorf("empty merge = %v, %v", ds, err)
+	}
+}

@@ -1,0 +1,252 @@
+package align
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// CSV serialization for aligned datasets: record a machine once, analyze
+// (train, validate, re-fit alternative models) offline — the workflow
+// the paper's own offline merge implies. The layout is one row per
+// sample; per-CPU counter columns and per-vector interrupt columns are
+// expanded, so files are self-describing and diffable.
+
+// counterCols names the per-CPU counter columns, in CPUCounts order.
+var counterCols = []string{
+	"cycles", "halted", "uops", "l3load", "l3all",
+	"tlb", "bustx", "prefetch", "dmaother", "uncache",
+}
+
+// csvHeader builds the header for a dataset with nCPU processors and
+// nVec interrupt vectors.
+func csvHeader(nCPU, nVec int, hasBusy bool, nThread int) []string {
+	h := []string{"seconds", "interval"}
+	for _, s := range power.Subsystems() {
+		h = append(h, "power_"+s.String())
+	}
+	for c := 0; c < nCPU; c++ {
+		for _, col := range counterCols {
+			h = append(h, fmt.Sprintf("cpu%d_%s", c, col))
+		}
+	}
+	for v := 0; v < nVec; v++ {
+		for c := 0; c < nCPU; c++ {
+			h = append(h, fmt.Sprintf("int%d_cpu%d", v, c))
+		}
+	}
+	if hasBusy {
+		for c := 0; c < nCPU; c++ {
+			h = append(h, fmt.Sprintf("osbusy_cpu%d", c))
+		}
+	}
+	for th := 0; th < nThread; th++ {
+		h = append(h, fmt.Sprintf("tbusy_th%d", th))
+	}
+	return h
+}
+
+// WriteCSV serializes the dataset. All rows must have the same shape
+// (CPU count, interrupt vectors) as the first.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	if len(d.Rows) == 0 {
+		return fmt.Errorf("align: empty dataset")
+	}
+	first := &d.Rows[0].Counters
+	nCPU := len(first.CPUs)
+	nVec := len(first.Ints)
+	hasBusy := len(first.OSBusySec) > 0
+	nThread := len(first.OSThreadBusySec)
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader(nCPU, nVec, hasBusy, nThread)); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	fu := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for i := range d.Rows {
+		row := &d.Rows[i]
+		s := &row.Counters
+		if len(s.CPUs) != nCPU || len(s.Ints) != nVec {
+			return fmt.Errorf("align: row %d shape differs from row 0", i)
+		}
+		rec := []string{ff(s.TargetSeconds), ff(s.IntervalSec)}
+		for _, sub := range power.Subsystems() {
+			rec = append(rec, ff(row.Power[sub]))
+		}
+		for _, c := range s.CPUs {
+			rec = append(rec,
+				fu(c.Cycles), fu(c.HaltedCycles), fu(c.FetchedUops),
+				fu(c.L3LoadMisses), fu(c.L3Misses), fu(c.TLBMisses),
+				fu(c.BusTx), fu(c.BusPrefetchTx), fu(c.DMAOther), fu(c.Uncacheable))
+		}
+		for v := 0; v < nVec; v++ {
+			for c := 0; c < nCPU; c++ {
+				var n uint64
+				if c < len(s.Ints[v]) {
+					n = s.Ints[v][c]
+				}
+				rec = append(rec, fu(n))
+			}
+		}
+		if hasBusy {
+			for c := 0; c < nCPU; c++ {
+				var b float64
+				if c < len(s.OSBusySec) {
+					b = s.OSBusySec[c]
+				}
+				rec = append(rec, ff(b))
+			}
+		}
+		for th := 0; th < nThread; th++ {
+			var b float64
+			if th < len(s.OSThreadBusySec) {
+				b = s.OSThreadBusySec[th]
+			}
+			rec = append(rec, ff(b))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV deserializes a dataset written by WriteCSV.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("align: reading header: %w", err)
+	}
+	nCPU, nVec, hasBusy, nThread, err := parseShape(header)
+	if err != nil {
+		return nil, err
+	}
+	want := len(csvHeader(nCPU, nVec, hasBusy, nThread))
+	if len(header) != want {
+		return nil, fmt.Errorf("align: header has %d columns, want %d", len(header), want)
+	}
+	ds := &Dataset{}
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("align: line %d: %w", line, err)
+		}
+		if len(rec) != want {
+			return nil, fmt.Errorf("align: line %d has %d columns, want %d", line, len(rec), want)
+		}
+		row, err := parseRow(rec, nCPU, nVec, hasBusy, nThread)
+		if err != nil {
+			return nil, fmt.Errorf("align: line %d: %w", line, err)
+		}
+		ds.Rows = append(ds.Rows, row)
+	}
+	return ds, nil
+}
+
+// parseShape recovers the dataset dimensions from the header layout.
+func parseShape(header []string) (nCPU, nVec int, hasBusy bool, nThread int, err error) {
+	if len(header) < 2+power.NumSubsystems {
+		return 0, 0, false, 0, fmt.Errorf("align: header too short")
+	}
+	for _, h := range header {
+		var c int
+		if n, _ := fmt.Sscanf(h, "cpu%d_cycles", &c); n == 1 && c+1 > nCPU {
+			nCPU = c + 1
+		}
+		var v int
+		if n, _ := fmt.Sscanf(h, "int%d_cpu0", &v); n == 1 && v+1 > nVec {
+			nVec = v + 1
+		}
+		if h == "osbusy_cpu0" {
+			hasBusy = true
+		}
+		var th int
+		if n, _ := fmt.Sscanf(h, "tbusy_th%d", &th); n == 1 && th+1 > nThread {
+			nThread = th + 1
+		}
+	}
+	if nCPU == 0 {
+		return 0, 0, false, 0, fmt.Errorf("align: no counter columns in header")
+	}
+	return nCPU, nVec, hasBusy, nThread, nil
+}
+
+// parseRow decodes one CSV record.
+func parseRow(rec []string, nCPU, nVec int, hasBusy bool, nThread int) (Row, error) {
+	var row Row
+	idx := 0
+	nextF := func() (float64, error) {
+		v, err := strconv.ParseFloat(rec[idx], 64)
+		idx++
+		return v, err
+	}
+	nextU := func() (uint64, error) {
+		v, err := strconv.ParseUint(rec[idx], 10, 64)
+		idx++
+		return v, err
+	}
+	var err error
+	s := perfctr.Sample{CPUs: make([]perfctr.CPUCounts, nCPU)}
+	if s.TargetSeconds, err = nextF(); err != nil {
+		return row, err
+	}
+	if s.IntervalSec, err = nextF(); err != nil {
+		return row, err
+	}
+	for _, sub := range power.Subsystems() {
+		if row.Power[sub], err = nextF(); err != nil {
+			return row, err
+		}
+	}
+	for c := 0; c < nCPU; c++ {
+		dst := []*uint64{
+			&s.CPUs[c].Cycles, &s.CPUs[c].HaltedCycles, &s.CPUs[c].FetchedUops,
+			&s.CPUs[c].L3LoadMisses, &s.CPUs[c].L3Misses, &s.CPUs[c].TLBMisses,
+			&s.CPUs[c].BusTx, &s.CPUs[c].BusPrefetchTx, &s.CPUs[c].DMAOther,
+			&s.CPUs[c].Uncacheable,
+		}
+		for _, p := range dst {
+			if *p, err = nextU(); err != nil {
+				return row, err
+			}
+		}
+	}
+	if nVec > 0 {
+		s.Ints = make([][]uint64, nVec)
+		for v := 0; v < nVec; v++ {
+			s.Ints[v] = make([]uint64, nCPU)
+			for c := 0; c < nCPU; c++ {
+				if s.Ints[v][c], err = nextU(); err != nil {
+					return row, err
+				}
+			}
+		}
+	}
+	if hasBusy {
+		s.OSBusySec = make([]float64, nCPU)
+		for c := 0; c < nCPU; c++ {
+			if s.OSBusySec[c], err = nextF(); err != nil {
+				return row, err
+			}
+		}
+	}
+	if nThread > 0 {
+		s.OSThreadBusySec = make([]float64, nThread)
+		for th := 0; th < nThread; th++ {
+			if s.OSThreadBusySec[th], err = nextF(); err != nil {
+				return row, err
+			}
+		}
+	}
+	row.Counters = s
+	return row, nil
+}

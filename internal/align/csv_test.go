@@ -1,0 +1,117 @@
+package align
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+func sampleRow(sec float64, busy bool) Row {
+	s := perfctr.Sample{
+		TargetSeconds: sec,
+		IntervalSec:   1.001,
+		CPUs: []perfctr.CPUCounts{
+			{Cycles: 2800000000, HaltedCycles: 1000, FetchedUops: 3000000,
+				L3LoadMisses: 4000, L3Misses: 5000, TLBMisses: 60,
+				BusTx: 7000, BusPrefetchTx: 800, DMAOther: 90, Uncacheable: 10},
+			{Cycles: 2800000001, FetchedUops: 123},
+		},
+		Ints: [][]uint64{{1000, 1001}, {5, 6}, {7, 8}},
+	}
+	if busy {
+		s.OSBusySec = []float64{0.5, 0.25}
+		s.OSThreadBusySec = []float64{0.4, 0.1, 0.2, 0.05}
+	}
+	return Row{
+		Power:    power.Reading{160.5, 19.9, 35.25, 33, 21.6},
+		Counters: s,
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := &Dataset{Rows: []Row{sampleRow(1, true), sampleRow(2.002, true)}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", ds.Rows[0], back.Rows[0])
+	}
+}
+
+func TestCSVRoundTripWithoutBusy(t *testing.T) {
+	ds := &Dataset{Rows: []Row{sampleRow(1, false)}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows[0].Counters.OSBusySec != nil {
+		t.Error("busy columns appeared from nowhere")
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (&Dataset{}).WriteCSV(&buf); err == nil {
+		t.Error("empty dataset accepted")
+	}
+	// Shape change mid-dataset.
+	bad := &Dataset{Rows: []Row{sampleRow(1, true), sampleRow(2, true)}}
+	bad.Rows[1].Counters.CPUs = bad.Rows[1].Counters.CPUs[:1]
+	if err := bad.WriteCSV(&buf); err == nil {
+		t.Error("ragged dataset accepted")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"no counters":  "seconds,interval,power_CPU,power_Chipset,power_Memory,power_I/O,power_Disk\n",
+		"bad value":    mustCSV(t) + "garbage line\n",
+		"short record": "seconds,interval,power_CPU,power_Chipset,power_Memory,power_I/O,power_Disk,cpu0_cycles\n1,1,1,1,1,1,1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// mustCSV returns a valid one-row CSV to append garbage to.
+func mustCSV(t *testing.T) string {
+	t.Helper()
+	ds := &Dataset{Rows: []Row{sampleRow(1, false)}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestCSVHeaderStable(t *testing.T) {
+	h := csvHeader(2, 1, true, 4)
+	joined := strings.Join(h, ",")
+	for _, want := range []string{
+		"seconds", "interval", "power_CPU", "power_Disk",
+		"cpu0_cycles", "cpu1_uncache", "int0_cpu1", "osbusy_cpu0", "tbusy_th3",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("header missing %q: %v", want, joined)
+		}
+	}
+}

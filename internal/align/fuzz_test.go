@@ -1,0 +1,42 @@
+package align
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV ensures arbitrary input never panics the reader and that
+// anything it accepts round-trips back to identical CSV.
+func FuzzReadCSV(f *testing.F) {
+	// Seed with a valid file and some near-misses.
+	ds := &Dataset{Rows: []Row{sampleRow(1, true), sampleRow(2, true)}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("seconds,interval\n1,1\n")
+	f.Add(strings.Replace(buf.String(), "2800000000", "-1", 1))
+	f.Fuzz(func(t *testing.T, in string) {
+		got, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if got.Len() == 0 {
+			return
+		}
+		var out bytes.Buffer
+		if err := got.WriteCSV(&out); err != nil {
+			t.Fatalf("accepted input failed to re-serialize: %v", err)
+		}
+		again, err := ReadCSV(&out)
+		if err != nil {
+			t.Fatalf("re-serialized output failed to parse: %v", err)
+		}
+		if again.Len() != got.Len() {
+			t.Fatalf("round trip changed length %d -> %d", got.Len(), again.Len())
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package chipset
+
+import (
+	"testing"
+
+	"trickledown/internal/sim"
+)
+
+func TestStepClampsUtil(t *testing.T) {
+	c := New(sim.NewRNG(1))
+	if st := c.Step(0.001, -0.5); st.FSBUtil != 0 {
+		t.Errorf("negative util not clamped: %v", st.FSBUtil)
+	}
+	if st := c.Step(0.001, 1.5); st.FSBUtil != 1 {
+		t.Errorf("overrange util not clamped: %v", st.FSBUtil)
+	}
+}
+
+func TestDomainBiasPropagates(t *testing.T) {
+	c := New(sim.NewRNG(2))
+	c.SetDomainBias(1.7)
+	if st := c.Step(0.001, 0); st.DomainBias != 1.7 {
+		t.Errorf("DomainBias = %v", st.DomainBias)
+	}
+}
+
+func TestDriftIsMeanReverting(t *testing.T) {
+	c := New(sim.NewRNG(3))
+	var sum float64
+	const n = 600000 // 10 simulated minutes
+	for i := 0; i < n; i++ {
+		sum += c.Step(0.001, 0).DomainDrift
+	}
+	mean := sum / n
+	if mean < -0.5 || mean > 0.5 {
+		t.Errorf("drift long-run mean = %v, want ~0", mean)
+	}
+}
+
+func TestDriftDeterministicPerSeed(t *testing.T) {
+	a := New(sim.NewRNG(7))
+	b := New(sim.NewRNG(7))
+	for i := 0; i < 1000; i++ {
+		if a.Step(0.001, 0.3) != b.Step(0.001, 0.3) {
+			t.Fatal("chipset nondeterministic for equal seeds")
+		}
+	}
+}

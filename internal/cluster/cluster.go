@@ -1,0 +1,212 @@
+// Package cluster provides the ensemble-management layer the paper
+// motivates ("in data and computing centers, this can be a valuable tool
+// for keeping the center within temperature and power limits"): a set of
+// simulated nodes observed purely through the trickle-down estimator,
+// with budget checking and a consolidation planner in the spirit of the
+// Rajamani/Chen node-power-down studies the paper cites.
+//
+// The manager never reads a node's measured rails; they remain available
+// (Node.MeasuredMean) only so callers can verify decisions the way the
+// paper verifies its models.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"trickledown/internal/core"
+	"trickledown/internal/machine"
+	"trickledown/internal/stats"
+	"trickledown/internal/workload"
+)
+
+// ErrNoSamples is returned when a node has not produced counter samples
+// yet.
+var ErrNoSamples = errors.New("cluster: node has no samples")
+
+// Node is one managed server.
+type Node struct {
+	// Name identifies the node in plans and reports.
+	Name string
+	srv  *machine.Server
+	seen int
+	// estSum/measSum accumulate per-sample totals for means.
+	estSum  float64
+	measSum float64
+	n       int
+}
+
+// Cluster manages a set of nodes with one shared estimator (the paper's
+// fit-once, deploy-everywhere economics).
+type Cluster struct {
+	est   *core.Estimator
+	nodes []*Node
+}
+
+// New returns an empty cluster using the given fitted estimator.
+func New(est *core.Estimator) (*Cluster, error) {
+	if est == nil {
+		return nil, errors.New("cluster: nil estimator")
+	}
+	return &Cluster{est: est}, nil
+}
+
+// AddHomogeneous adds a node running one workload on the default server
+// configuration.
+func (c *Cluster) AddHomogeneous(name, workloadName string, seed uint64) (*Node, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	spec, err := workload.ByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := machine.New(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.add(name, srv)
+}
+
+// AddMixed adds a node with heterogeneous placements.
+func (c *Cluster) AddMixed(name string, seed uint64, placements []machine.Placement) (*Node, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	srv, err := machine.NewMixed(cfg, placements)
+	if err != nil {
+		return nil, err
+	}
+	return c.add(name, srv)
+}
+
+func (c *Cluster) add(name string, srv *machine.Server) (*Node, error) {
+	if name == "" {
+		return nil, errors.New("cluster: empty node name")
+	}
+	for _, n := range c.nodes {
+		if n.Name == name {
+			return nil, fmt.Errorf("cluster: duplicate node %q", name)
+		}
+	}
+	n := &Node{Name: name, srv: srv}
+	c.nodes = append(c.nodes, n)
+	return n, nil
+}
+
+// Nodes returns the managed nodes in insertion order.
+func (c *Cluster) Nodes() []*Node {
+	return append([]*Node(nil), c.nodes...)
+}
+
+// Run advances every node by the given simulated seconds and folds the
+// new samples into the running means.
+func (c *Cluster) Run(seconds float64) error {
+	for _, n := range c.nodes {
+		n.srv.Run(seconds)
+		ds, err := n.srv.Dataset()
+		if err != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		}
+		for ; n.seen < ds.Len(); n.seen++ {
+			row := &ds.Rows[n.seen]
+			n.estSum += c.est.Estimate(&row.Counters).Total()
+			n.measSum += row.Power.Total()
+			n.n++
+		}
+	}
+	return nil
+}
+
+// EstimatedMean returns the node's counter-estimated average total power.
+func (n *Node) EstimatedMean() (float64, error) {
+	if n.n == 0 {
+		return 0, ErrNoSamples
+	}
+	return n.estSum / float64(n.n), nil
+}
+
+// MeasuredMean returns the node's measured average total power — ground
+// truth the manager itself never uses.
+func (n *Node) MeasuredMean() (float64, error) {
+	if n.n == 0 {
+		return 0, ErrNoSamples
+	}
+	return n.measSum / float64(n.n), nil
+}
+
+// Estimate is one node's reading in a cluster snapshot.
+type Estimate struct {
+	Name  string
+	Watts float64
+}
+
+// Snapshot returns the per-node estimated means plus the cluster total.
+func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
+	out := make([]Estimate, 0, len(c.nodes))
+	total := 0.0
+	for _, n := range c.nodes {
+		w, err := n.EstimatedMean()
+		if err != nil {
+			return nil, 0, fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		}
+		out = append(out, Estimate{Name: n.Name, Watts: w})
+		total += w
+	}
+	return out, total, nil
+}
+
+// Plan is a consolidation decision: evict the named nodes (cheapest
+// first) so the projected draw fits the budget.
+type Plan struct {
+	// Evict lists nodes to consolidate away, in eviction order.
+	Evict []string
+	// Projected is the estimated draw after eviction.
+	Projected float64
+	// Fits reports whether the budget is reachable at all.
+	Fits bool
+}
+
+// PlanConsolidation picks the cheapest nodes to power down until the
+// estimated total fits the budget. It never plans away the last node.
+func PlanConsolidation(estimates []Estimate, budgetWatts float64) Plan {
+	total := 0.0
+	for _, e := range estimates {
+		total += e.Watts
+	}
+	plan := Plan{Projected: total}
+	if total <= budgetWatts {
+		plan.Fits = true
+		return plan
+	}
+	sorted := append([]Estimate(nil), estimates...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Watts < sorted[j].Watts })
+	for _, e := range sorted {
+		if plan.Projected <= budgetWatts || len(plan.Evict) == len(estimates)-1 {
+			break
+		}
+		plan.Evict = append(plan.Evict, e.Name)
+		plan.Projected -= e.Watts
+	}
+	plan.Fits = plan.Projected <= budgetWatts
+	return plan
+}
+
+// VerifyAccuracy returns the Equation 6 style relative error between the
+// cluster's estimated and measured mean totals — the check an operator
+// would run once before trusting the sensorless readings.
+func (c *Cluster) VerifyAccuracy() (float64, error) {
+	var est, meas []float64
+	for _, n := range c.nodes {
+		e, err := n.EstimatedMean()
+		if err != nil {
+			return 0, err
+		}
+		m, err := n.MeasuredMean()
+		if err != nil {
+			return 0, err
+		}
+		est = append(est, e)
+		meas = append(meas, m)
+	}
+	return stats.AverageError(est, meas)
+}

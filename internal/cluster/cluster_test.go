@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trickledown/internal/core"
+	"trickledown/internal/machine"
+)
+
+// testEstimator trains a small estimator once for the package's tests.
+var testEst *core.Estimator
+
+func estimator(t *testing.T) *core.Estimator {
+	t.Helper()
+	if testEst != nil {
+		return testEst
+	}
+	gcc, err := machine.RunWorkload("gcc", 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcf, err := machine.RunWorkload("mcf", 150, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, err := machine.RunWorkload("diskload", 120, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := core.TrainEstimator(core.TrainingSet{
+		CPU: gcc, Memory: mcf, Disk: dl, IO: dl, Chipset: gcc,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	testEst = est
+	return est
+}
+
+func TestClusterLifecycle(t *testing.T) {
+	c, err := New(estimator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHomogeneous("busy", "mesa", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHomogeneous("spare", "idle", 11); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddMixed("shared", 12, []machine.Placement{
+		{Workload: "gcc", Thread: 0},
+		{Workload: "dbt-2", Thread: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Nodes()) != 3 {
+		t.Fatalf("nodes = %d", len(c.Nodes()))
+	}
+	if err := c.Run(40); err != nil {
+		t.Fatal(err)
+	}
+	snap, total, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var sum float64
+	for _, e := range snap {
+		if e.Watts < 100 || e.Watts > 320 {
+			t.Errorf("node %s estimate %v implausible", e.Name, e.Watts)
+		}
+		sum += e.Watts
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("total %v != sum %v", total, sum)
+	}
+	// The busy node out-draws the spare.
+	byName := map[string]float64{}
+	for _, e := range snap {
+		byName[e.Name] = e.Watts
+	}
+	if byName["busy"] <= byName["spare"] {
+		t.Errorf("busy %v <= spare %v", byName["busy"], byName["spare"])
+	}
+	// The sensorless estimates verify against the hidden rails.
+	acc, err := c.VerifyAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc > 3 {
+		t.Errorf("cluster accuracy = %.2f%%", acc)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil estimator accepted")
+	}
+	c, err := New(estimator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHomogeneous("", "idle", 1); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := c.AddHomogeneous("a", "nope", 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := c.AddHomogeneous("a", "idle", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHomogeneous("a", "idle", 2); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	if _, err := c.AddMixed("b", 1, nil); err == nil {
+		t.Error("empty placements accepted")
+	}
+	// Snapshot before any run fails with ErrNoSamples.
+	if _, _, err := c.Snapshot(); !errors.Is(err, ErrNoSamples) {
+		t.Errorf("Snapshot err = %v", err)
+	}
+	n := c.Nodes()[0]
+	if _, err := n.EstimatedMean(); !errors.Is(err, ErrNoSamples) {
+		t.Error("EstimatedMean before run should fail")
+	}
+	if _, err := n.MeasuredMean(); !errors.Is(err, ErrNoSamples) {
+		t.Error("MeasuredMean before run should fail")
+	}
+	if _, err := c.VerifyAccuracy(); err == nil {
+		t.Error("VerifyAccuracy before run should fail")
+	}
+}
+
+func TestPlanConsolidation(t *testing.T) {
+	est := []Estimate{
+		{Name: "a", Watts: 250},
+		{Name: "b", Watts: 150},
+		{Name: "c", Watts: 140},
+		{Name: "d", Watts: 260},
+	}
+	// Fits already: no eviction.
+	p := PlanConsolidation(est, 1000)
+	if !p.Fits || len(p.Evict) != 0 {
+		t.Errorf("plan = %+v", p)
+	}
+	// Needs two cheapest out.
+	p = PlanConsolidation(est, 520)
+	if !p.Fits {
+		t.Fatalf("plan = %+v", p)
+	}
+	if len(p.Evict) != 2 || p.Evict[0] != "c" || p.Evict[1] != "b" {
+		t.Errorf("evictions = %v", p.Evict)
+	}
+	if math.Abs(p.Projected-510) > 1e-9 {
+		t.Errorf("projected = %v", p.Projected)
+	}
+	// Impossible budget: keeps the last node and reports Fits=false.
+	p = PlanConsolidation(est, 10)
+	if p.Fits {
+		t.Error("impossible budget reported as fitting")
+	}
+	if len(p.Evict) != len(est)-1 {
+		t.Errorf("evictions = %v", p.Evict)
+	}
+	// Empty cluster fits trivially.
+	p = PlanConsolidation(nil, 10)
+	if !p.Fits || p.Projected != 0 {
+		t.Errorf("empty plan = %+v", p)
+	}
+}
+
+func TestClusterRunIncremental(t *testing.T) {
+	c, err := New(estimator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHomogeneous("n", "idle", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	n1 := c.Nodes()[0].n
+	if err := c.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	n2 := c.Nodes()[0].n
+	if n2 <= n1 {
+		t.Errorf("samples did not accumulate: %d -> %d", n1, n2)
+	}
+	if n2 > 25 {
+		t.Errorf("samples double counted: %d", n2)
+	}
+}

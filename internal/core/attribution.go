@@ -1,0 +1,69 @@
+package core
+
+import (
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// Thread-level power attribution — the paper's Section 4.2.1 endgame:
+// "this is particularly challenging in virtual machine environments in
+// which multiple customers could be simultaneously running applications
+// on a single physical processor. For this reason, process-level power
+// accounting is essential."
+//
+// Equation 1 attributes power to physical processors; on an SMT
+// processor two tenants share one. The split below divides each
+// processor's estimated power into an infrastructure part (the halted
+// floor, owed equally by whoever is scheduled there) and a dynamic part
+// divided by OS-accounted per-thread busy time — the same accounting
+// the billing story already requires the OS to keep.
+
+// PerThreadPower attributes the CPU-subsystem estimate to hardware
+// threads. The sample must carry OS per-thread busy accounting
+// (OSThreadBusySec) with threadsPerCPU entries per processor; otherwise
+// nil is returned. The per-thread values of each processor sum to that
+// processor's Equation 1 attribution.
+func (e *Estimator) PerThreadPower(s *perfctr.Sample, threadsPerCPU int) []float64 {
+	if threadsPerCPU <= 0 {
+		return nil
+	}
+	m := ExtractMetrics(s)
+	perCPU := e.PerCPUPower(s)
+	want := m.NumCPUs * threadsPerCPU
+	if len(s.OSThreadBusySec) < want || s.IntervalSec <= 0 {
+		return nil
+	}
+	cm := e.Model(power.SubCPU)
+	if cm == nil || len(cm.Coef) < 1 {
+		return nil
+	}
+	floor := cm.Coef[0] // per-processor infrastructure (halted floor)
+	out := make([]float64, want)
+	for cpuID := 0; cpuID < m.NumCPUs; cpuID++ {
+		var busySum float64
+		base := cpuID * threadsPerCPU
+		for t := 0; t < threadsPerCPU; t++ {
+			busySum += s.OSThreadBusySec[base+t]
+		}
+		dynamic := perCPU[cpuID] - floor
+		if dynamic < 0 {
+			dynamic = 0
+		}
+		for t := 0; t < threadsPerCPU; t++ {
+			share := 1.0 / float64(threadsPerCPU)
+			if busySum > 0 {
+				share = s.OSThreadBusySec[base+t] / busySum
+			}
+			out[base+t] = floor/float64(threadsPerCPU) + dynamic*share
+		}
+		// Reconcile rounding so the processor total is exact.
+		var sum float64
+		for t := 0; t < threadsPerCPU; t++ {
+			sum += out[base+t]
+		}
+		if diff := perCPU[cpuID] - sum; diff != 0 {
+			out[base] += diff
+		}
+	}
+	return out
+}

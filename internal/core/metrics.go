@@ -1,0 +1,196 @@
+// Package core implements the paper's contribution: trickle-down power
+// models that estimate the power of five server subsystems — CPU,
+// chipset, memory, I/O and disk — from performance events observable at
+// the microprocessor alone.
+//
+// The flow mirrors the paper's methodology end to end:
+//
+//  1. ExtractMetrics normalizes raw 1 Hz counter samples into per-cycle
+//     rates ("the cycles metric is combined with most other metrics to
+//     create per cycle metrics; this corrects for slight differences in
+//     sampling rate").
+//  2. A ModelSpec picks the event inputs and functional form for one
+//     subsystem (linear for CPU, single- or multi-input quadratics for
+//     the rest, constant for chipset).
+//  3. Train fits the coefficients by least squares against measured rail
+//     power from one high-variation training workload.
+//  4. Validate computes the paper's Equation 6 average error on any
+//     workload, and Estimator bundles the five fitted models into a
+//     sensorless whole-system power meter.
+package core
+
+import (
+	"trickledown/internal/iobus"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/sim"
+)
+
+// Metrics are the per-cycle normalized model inputs derived from one
+// counter sample. Slices are indexed by processor.
+type Metrics struct {
+	// NumCPUs is the processor count.
+	NumCPUs int
+	// PercentActive is 1 - HaltedCycles/Cycles: the unhalted fraction
+	// Equation 1 scales the clock-gating recovery by.
+	PercentActive []float64
+	// UopsPerCycle is fetched uops per cycle.
+	UopsPerCycle []float64
+	// L3LoadPMC is L3 load misses per million cycles.
+	L3LoadPMC []float64
+	// L3AllPMC is all L3 miss traffic (loads, stores, writebacks) per
+	// million cycles; the gap between it and L3LoadPMC is the
+	// CPU-visible write/writeback proxy the extended memory model uses.
+	L3AllPMC []float64
+	// BusTxPMC is this processor's own bus transactions (demand +
+	// prefetch) per million cycles.
+	BusTxPMC []float64
+	// PrefetchPMC is the prefetch subset of BusTxPMC.
+	PrefetchPMC []float64
+	// DMAPMC is non-self (DMA/other) bus transactions per million cycles
+	// as counted at each processor.
+	DMAPMC []float64
+	// UncacheablePMC is uncacheable accesses per million cycles.
+	UncacheablePMC []float64
+	// TLBPMC is TLB misses per million cycles.
+	TLBPMC []float64
+	// IntsPMC is all interrupts serviced by each CPU per million cycles
+	// (from the OS's /proc/interrupts, not the PMU).
+	IntsPMC []float64
+	// DiskIntsPMC is the disk-controller-vector subset of IntsPMC.
+	DiskIntsPMC []float64
+	// OSUtil is each processor's OS-reported utilization over the
+	// interval (busy seconds / wall seconds), when available.
+	OSUtil []float64
+	// FreqScale is each processor's observed DVFS operating point,
+	// inferred from cycles elapsed per wall-clock interval — no extra
+	// event needed, the cycles counter already reveals the clock.
+	FreqScale []float64
+}
+
+// ExtractMetrics normalizes a counter sample, assuming the default
+// nominal clock for frequency inference.
+func ExtractMetrics(s *perfctr.Sample) *Metrics {
+	return ExtractMetricsAt(s, sim.DefaultCoreHz)
+}
+
+// ExtractMetricsAt normalizes a counter sample for a machine with the
+// given nominal core clock. Processors that report zero cycles (which
+// cannot happen on real hardware but may in truncated logs) yield zero
+// rates.
+func ExtractMetricsAt(s *perfctr.Sample, nominalHz float64) *Metrics {
+	n := len(s.CPUs)
+	m := &Metrics{
+		NumCPUs:        n,
+		PercentActive:  make([]float64, n),
+		UopsPerCycle:   make([]float64, n),
+		L3LoadPMC:      make([]float64, n),
+		L3AllPMC:       make([]float64, n),
+		BusTxPMC:       make([]float64, n),
+		PrefetchPMC:    make([]float64, n),
+		DMAPMC:         make([]float64, n),
+		UncacheablePMC: make([]float64, n),
+		TLBPMC:         make([]float64, n),
+		IntsPMC:        make([]float64, n),
+		DiskIntsPMC:    make([]float64, n),
+		FreqScale:      make([]float64, n),
+		OSUtil:         make([]float64, n),
+	}
+	if s.IntervalSec > 0 {
+		for i := range m.OSUtil {
+			if i < len(s.OSBusySec) {
+				u := s.OSBusySec[i] / s.IntervalSec
+				if u < 0 {
+					u = 0
+				}
+				if u > 1 {
+					u = 1
+				}
+				m.OSUtil[i] = u
+			}
+		}
+	}
+	for i, c := range s.CPUs {
+		cyc := float64(c.Cycles)
+		if cyc <= 0 {
+			continue
+		}
+		mcyc := cyc / 1e6
+		m.FreqScale[i] = 1
+		if s.IntervalSec > 0 && nominalHz > 0 {
+			f := cyc / (s.IntervalSec * nominalHz)
+			// Sampling jitter wobbles the estimate slightly; clamp to
+			// the hardware's actual operating range.
+			if f < 0.1 {
+				f = 0.1
+			}
+			if f > 1 {
+				f = 1
+			}
+			m.FreqScale[i] = f
+		}
+		m.PercentActive[i] = 1 - float64(c.HaltedCycles)/cyc
+		if m.PercentActive[i] < 0 {
+			m.PercentActive[i] = 0
+		}
+		m.UopsPerCycle[i] = float64(c.FetchedUops) / cyc
+		m.L3LoadPMC[i] = float64(c.L3LoadMisses) / mcyc
+		m.L3AllPMC[i] = float64(c.L3Misses) / mcyc
+		m.BusTxPMC[i] = float64(c.BusTx) / mcyc
+		m.PrefetchPMC[i] = float64(c.BusPrefetchTx) / mcyc
+		m.DMAPMC[i] = float64(c.DMAOther) / mcyc
+		m.UncacheablePMC[i] = float64(c.Uncacheable) / mcyc
+		m.TLBPMC[i] = float64(c.TLBMisses) / mcyc
+		m.IntsPMC[i] = float64(s.IntsForCPU(i)) / mcyc
+		if int(iobus.VecDisk) < len(s.Ints) && i < len(s.Ints[iobus.VecDisk]) {
+			m.DiskIntsPMC[i] = float64(s.Ints[iobus.VecDisk][i]) / mcyc
+		}
+	}
+	return m
+}
+
+// sum adds a per-CPU metric across processors.
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// mean averages a per-CPU metric across processors.
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return sum(v) / float64(len(v))
+}
+
+// TotalBusPMC returns the paper's "all transactions that enter/exit the
+// processor" aggregate: every processor's own transactions plus the
+// DMA/other stream counted once. (The P4 counts the same DMA traffic at
+// every processor; summing it four times would quadruple-count, so the
+// mean across processors stands in for the single shared stream.)
+func (m *Metrics) TotalBusPMC() float64 {
+	return sum(m.BusTxPMC) + mean(m.DMAPMC)
+}
+
+// WritebackShare estimates the write fraction of memory traffic from
+// CPU-visible events: the gap between all L3 miss traffic and demand
+// load misses, relative to the processors' own bus transactions. This is
+// the input behind the paper's suggested extension ("accounting for the
+// mix of reads versus writes would be a simple addition to the model").
+func (m *Metrics) WritebackShare() float64 {
+	bus := sum(m.BusTxPMC)
+	if bus <= 0 {
+		return 0
+	}
+	wb := sum(m.L3AllPMC) - sum(m.L3LoadPMC)
+	if wb < 0 {
+		wb = 0
+	}
+	share := wb / bus
+	if share > 1 {
+		share = 1
+	}
+	return share
+}

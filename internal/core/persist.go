@@ -1,0 +1,130 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"trickledown/internal/power"
+	"trickledown/internal/regress"
+)
+
+// The paper's deployment story is that models are fitted once on an
+// instrumented machine and then shipped to uninstrumented ones ("the
+// cost of implementation is small"). This file provides the wire format:
+// fitted coefficients plus the spec name; the functional forms
+// themselves are code, so loading resolves the name against the spec
+// registry.
+
+// specRegistry maps persisted spec names to constructors.
+var specRegistry = map[string]func() ModelSpec{}
+
+func init() {
+	for _, mk := range []func() ModelSpec{
+		CPUSpec, CPUDVFSSpec, CPUOSUtilSpec, MemL3Spec, MemBusSpec, MemBusRWSpec, DiskSpec, IOSpec, ChipsetSpec,
+		DiskDMASpec, DiskUncacheableSpec, IODMASpec, IOUncacheableSpec,
+	} {
+		s := mk()
+		specRegistry[s.Name] = mk
+	}
+}
+
+// SpecByName returns the registered model spec with the given name.
+func SpecByName(name string) (ModelSpec, error) {
+	mk, ok := specRegistry[name]
+	if !ok {
+		return ModelSpec{}, fmt.Errorf("core: unknown model spec %q", name)
+	}
+	return mk(), nil
+}
+
+// SpecNames returns every registered spec name.
+func SpecNames() []string {
+	out := make([]string, 0, len(specRegistry))
+	for n := range specRegistry {
+		out = append(out, n)
+	}
+	return out
+}
+
+// modelJSON is the persisted form of one fitted model.
+type modelJSON struct {
+	Spec string    `json:"spec"`
+	Sub  string    `json:"subsystem"`
+	Coef []float64 `json:"coef"`
+	R2   float64   `json:"r2,omitempty"`
+	N    int       `json:"n,omitempty"`
+}
+
+// estimatorJSON is the persisted form of a full estimator.
+type estimatorJSON struct {
+	Format string      `json:"format"`
+	Models []modelJSON `json:"models"`
+}
+
+// formatName versions the wire format.
+const formatName = "trickledown-models/1"
+
+// Save writes the estimator's five fitted models as JSON.
+func (e *Estimator) Save(w io.Writer) error {
+	out := estimatorJSON{Format: formatName}
+	for _, s := range power.Subsystems() {
+		m := e.Model(s)
+		mj := modelJSON{Spec: m.Spec.Name, Sub: s.String(), Coef: m.Coef}
+		if m.Fit != nil {
+			mj.R2 = m.Fit.R2
+			mj.N = m.Fit.N
+		}
+		out.Models = append(out.Models, mj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// LoadEstimator reads an estimator previously written with Save.
+func LoadEstimator(r io.Reader) (*Estimator, error) {
+	var in estimatorJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding models: %w", err)
+	}
+	if in.Format != formatName {
+		return nil, fmt.Errorf("core: unsupported model format %q", in.Format)
+	}
+	models := make([]*Model, 0, len(in.Models))
+	for _, mj := range in.Models {
+		spec, err := SpecByName(mj.Spec)
+		if err != nil {
+			return nil, err
+		}
+		want := designWidth(spec)
+		if len(mj.Coef) != want {
+			return nil, fmt.Errorf("core: model %q has %d coefficients, want %d",
+				mj.Spec, len(mj.Coef), want)
+		}
+		m := &Model{Spec: spec, Coef: mj.Coef}
+		if mj.N > 0 {
+			m.Fit = &regress.Fit{Coef: mj.Coef, R2: mj.R2, N: mj.N}
+		}
+		models = append(models, m)
+	}
+	return NewEstimator(models...)
+}
+
+// designWidth probes a spec's design-row width with an empty sample.
+func designWidth(spec ModelSpec) int {
+	m := &Metrics{
+		NumCPUs:        1,
+		PercentActive:  make([]float64, 1),
+		UopsPerCycle:   make([]float64, 1),
+		L3LoadPMC:      make([]float64, 1),
+		BusTxPMC:       make([]float64, 1),
+		PrefetchPMC:    make([]float64, 1),
+		DMAPMC:         make([]float64, 1),
+		UncacheablePMC: make([]float64, 1),
+		TLBPMC:         make([]float64, 1),
+		IntsPMC:        make([]float64, 1),
+		DiskIntsPMC:    make([]float64, 1),
+	}
+	return len(spec.Design(m))
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+func trainedEstimator(t *testing.T) *Estimator {
+	t.Helper()
+	ds := synthDataset(60, func(i int, s *perfctr.Sample) power.Reading {
+		m := ExtractMetrics(s)
+		var r power.Reading
+		r[power.SubCPU] = 9*float64(m.NumCPUs) + 25*sum(m.PercentActive) + 4*sum(m.UopsPerCycle)
+		r[power.SubChipset] = 19.9
+		r[power.SubMemory] = 28 + 0.001*m.TotalBusPMC()
+		r[power.SubIO] = 32.7 + sum(m.IntsPMC)
+		r[power.SubDisk] = 21.6 + sum(m.DiskIntsPMC)
+		return r
+	})
+	est, err := TrainEstimator(TrainingSet{CPU: ds, Memory: ds, Disk: ds, IO: ds, Chipset: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	est := trainedEstimator(t)
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mkSample(0.7, 1.4, 150, 800, 60, 1.2)
+	a := est.Estimate(&s)
+	b := loaded.Estimate(&s)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Errorf("subsystem %d: %v != %v after round trip", i, a[i], b[i])
+		}
+	}
+	// Training diagnostics survive.
+	if loaded.Model(power.SubCPU).Fit == nil {
+		t.Error("fit diagnostics lost")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":     "pfff",
+		"wrong format": `{"format":"other/9","models":[]}`,
+		"unknown spec": `{"format":"trickledown-models/1","models":[{"spec":"nope","coef":[1]}]}`,
+		"bad width":    `{"format":"trickledown-models/1","models":[{"spec":"cpu (Eq.1)","coef":[1]}]}`,
+		"incomplete":   `{"format":"trickledown-models/1","models":[]}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadEstimator(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSpecRegistry(t *testing.T) {
+	names := SpecNames()
+	if len(names) < 11 {
+		t.Fatalf("registry has %d specs", len(names))
+	}
+	for _, n := range names {
+		spec, err := SpecByName(n)
+		if err != nil {
+			t.Errorf("SpecByName(%q): %v", n, err)
+			continue
+		}
+		if spec.Name != n {
+			t.Errorf("spec %q reports name %q", n, spec.Name)
+		}
+		if w := designWidth(spec); w != len(spec.Terms) {
+			t.Errorf("%s: width %d != %d terms", n, w, len(spec.Terms))
+		}
+	}
+	if _, err := SpecByName("bogus"); err == nil {
+		t.Error("unknown spec accepted")
+	}
+}
+
+func TestWritebackShare(t *testing.T) {
+	m := &Metrics{
+		BusTxPMC:  []float64{1000},
+		L3AllPMC:  []float64{700},
+		L3LoadPMC: []float64{400},
+	}
+	if got := m.WritebackShare(); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("WritebackShare = %v, want 0.3", got)
+	}
+	// Clamps.
+	if got := (&Metrics{}).WritebackShare(); got != 0 {
+		t.Errorf("empty share = %v", got)
+	}
+	m.L3AllPMC[0] = 100 // less than loads: clamp at 0
+	if got := m.WritebackShare(); got != 0 {
+		t.Errorf("negative wb share = %v", got)
+	}
+	m.L3AllPMC[0] = 5000
+	m.L3LoadPMC[0] = 0
+	if got := m.WritebackShare(); got != 1 {
+		t.Errorf("overrange wb share = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"trickledown/internal/align"
+	"trickledown/internal/power"
+	"trickledown/internal/stats"
+)
+
+// Training-data sanity checks. The paper's pipeline spans two machines
+// and a hand-wired sense-resistor harness; a dead channel or an
+// unprogrammed counter produces a dataset that still trains — into a
+// confidently wrong model. CheckDataset catches the failure modes an
+// operator actually hits before any coefficients are fit.
+
+// DataIssue describes one problem found in a dataset.
+type DataIssue struct {
+	// Subject names the rail or counter.
+	Subject string
+	// Problem describes what is wrong.
+	Problem string
+}
+
+func (i DataIssue) String() string { return i.Subject + ": " + i.Problem }
+
+// CheckDataset inspects an aligned dataset for dead power rails,
+// implausible readings, silent counters and broken timebases. It returns
+// the issues found (empty means the data looks trainable).
+func CheckDataset(ds *align.Dataset) []DataIssue {
+	var issues []DataIssue
+	if ds == nil || ds.Len() == 0 {
+		return []DataIssue{{Subject: "dataset", Problem: "no samples"}}
+	}
+	// Rails: a powered subsystem reads neither zero nor flat-at-zero.
+	for _, sub := range power.Subsystems() {
+		col := ds.PowerColumn(sub)
+		s, err := stats.Summarize(col)
+		if err != nil {
+			continue
+		}
+		switch {
+		case s.Max <= 0:
+			issues = append(issues, DataIssue{
+				Subject: "power/" + sub.String(),
+				Problem: "rail reads zero for the whole trace (dead sense channel?)",
+			})
+		case s.Min < 0:
+			issues = append(issues, DataIssue{
+				Subject: "power/" + sub.String(),
+				Problem: fmt.Sprintf("negative reading %.2f W (wiring polarity?)", s.Min),
+			})
+		case s.Mean < 1:
+			issues = append(issues, DataIssue{
+				Subject: "power/" + sub.String(),
+				Problem: fmt.Sprintf("mean %.2f W implausibly low for a powered subsystem", s.Mean),
+			})
+		}
+	}
+	// Counters: cycles must advance on every sample; core events must
+	// not be silent across the whole trace.
+	var anyUops, anyBus uint64
+	for i := range ds.Rows {
+		s := &ds.Rows[i].Counters
+		if s.IntervalSec <= 0 && i > 0 {
+			issues = append(issues, DataIssue{
+				Subject: "timebase",
+				Problem: fmt.Sprintf("sample %d has non-positive interval", i),
+			})
+			break
+		}
+		for c := range s.CPUs {
+			if s.CPUs[c].Cycles == 0 {
+				issues = append(issues, DataIssue{
+					Subject: fmt.Sprintf("counter/cpu%d.cycles", c),
+					Problem: fmt.Sprintf("zero at sample %d (counter not programmed?)", i),
+				})
+				i = ds.Len() // stop scanning
+				break
+			}
+			anyUops += s.CPUs[c].FetchedUops
+			anyBus += s.CPUs[c].BusTx
+		}
+	}
+	if anyUops == 0 {
+		issues = append(issues, DataIssue{
+			Subject: "counter/fetched_uops",
+			Problem: "silent for the whole trace",
+		})
+	}
+	if anyBus == 0 {
+		issues = append(issues, DataIssue{
+			Subject: "counter/bus_transactions",
+			Problem: "silent for the whole trace",
+		})
+	}
+	// Interrupts: a live system always takes timer ticks.
+	var anyInts uint64
+	for i := range ds.Rows {
+		anyInts += ds.Rows[i].Counters.IntsTotal()
+	}
+	if anyInts == 0 {
+		issues = append(issues, DataIssue{
+			Subject: "interrupts",
+			Problem: "no interrupts recorded (is /proc/interrupts sampling wired?)",
+		})
+	}
+	return issues
+}

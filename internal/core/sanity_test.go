@@ -1,0 +1,109 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"trickledown/internal/align"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// healthyDataset builds a structurally sound dataset.
+func healthyDataset(n int) *align.Dataset {
+	return synthDataset(n, func(i int, s *perfctr.Sample) power.Reading {
+		return power.Reading{150, 19.9, 33, 33, 21.6}
+	})
+}
+
+func TestCheckDatasetHealthy(t *testing.T) {
+	if issues := CheckDataset(healthyDataset(20)); len(issues) != 0 {
+		t.Errorf("healthy dataset flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetEmpty(t *testing.T) {
+	issues := CheckDataset(nil)
+	if len(issues) != 1 || !strings.Contains(issues[0].String(), "no samples") {
+		t.Errorf("issues = %v", issues)
+	}
+	if issues := CheckDataset(&align.Dataset{}); len(issues) != 1 {
+		t.Errorf("issues = %v", issues)
+	}
+}
+
+func TestCheckDatasetDeadRail(t *testing.T) {
+	ds := healthyDataset(20)
+	for i := range ds.Rows {
+		ds.Rows[i].Power[power.SubDisk] = 0
+	}
+	issues := CheckDataset(ds)
+	if !hasIssue(issues, "power/Disk", "zero") {
+		t.Errorf("dead rail not flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetNegativeRail(t *testing.T) {
+	ds := healthyDataset(20)
+	ds.Rows[3].Power[power.SubIO] = -2
+	if issues := CheckDataset(ds); !hasIssue(issues, "power/I/O", "negative") {
+		t.Errorf("negative rail not flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetLowRail(t *testing.T) {
+	ds := healthyDataset(20)
+	for i := range ds.Rows {
+		ds.Rows[i].Power[power.SubChipset] = 0.2
+	}
+	if issues := CheckDataset(ds); !hasIssue(issues, "power/Chipset", "implausibly low") {
+		t.Errorf("low rail not flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetZeroCycles(t *testing.T) {
+	ds := healthyDataset(20)
+	ds.Rows[5].Counters.CPUs[1].Cycles = 0
+	if issues := CheckDataset(ds); !hasIssue(issues, "counter/cpu1.cycles", "zero") {
+		t.Errorf("dead cycles counter not flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetSilentCounters(t *testing.T) {
+	ds := healthyDataset(20)
+	for i := range ds.Rows {
+		for c := range ds.Rows[i].Counters.CPUs {
+			ds.Rows[i].Counters.CPUs[c].FetchedUops = 0
+		}
+	}
+	if issues := CheckDataset(ds); !hasIssue(issues, "counter/fetched_uops", "silent") {
+		t.Errorf("silent uops not flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetNoInterrupts(t *testing.T) {
+	ds := healthyDataset(20)
+	for i := range ds.Rows {
+		ds.Rows[i].Counters.Ints = nil
+	}
+	if issues := CheckDataset(ds); !hasIssue(issues, "interrupts", "no interrupts") {
+		t.Errorf("missing interrupts not flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetBadInterval(t *testing.T) {
+	ds := healthyDataset(20)
+	ds.Rows[4].Counters.IntervalSec = 0
+	if issues := CheckDataset(ds); !hasIssue(issues, "timebase", "non-positive") {
+		t.Errorf("bad interval not flagged: %v", issues)
+	}
+}
+
+func hasIssue(issues []DataIssue, subject, problemFragment string) bool {
+	for _, i := range issues {
+		if i.Subject == subject && strings.Contains(i.Problem, problemFragment) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trickledown/internal/align"
+	"trickledown/internal/power"
+)
+
+func TestEWMA(t *testing.T) {
+	out := EWMA([]float64{10, 10, 10}, 0.5)
+	for i, v := range out {
+		if math.Abs(v-10) > 1e-12 {
+			t.Errorf("constant EWMA[%d] = %v", i, v)
+		}
+	}
+	// Step decay: after the input drops to zero the average decays
+	// geometrically.
+	out = EWMA([]float64{10, 0, 0, 0}, 0.5)
+	want := []float64{10, 5, 2.5, 1.25}
+	for i, w := range want {
+		if math.Abs(out[i]-w) > 1e-12 {
+			t.Errorf("EWMA[%d] = %v, want %v", i, out[i], w)
+		}
+	}
+	if got := EWMA(nil, 0.5); len(got) != 0 {
+		t.Error("empty EWMA")
+	}
+	// Alpha clamping must not panic or explode.
+	_ = EWMA([]float64{1, 2}, -1)
+	_ = EWMA([]float64{1, 2}, 7)
+}
+
+func TestTrainSeqErrors(t *testing.T) {
+	if _, err := TrainSeq(DiskStandbySpec(0.2), nil); !errors.Is(err, ErrNoData) {
+		t.Error("nil dataset accepted")
+	}
+	if _, err := TrainSeq(DiskStandbySpec(0.2), &align.Dataset{}); !errors.Is(err, ErrNoData) {
+		t.Error("empty dataset accepted")
+	}
+	m := &SeqModel{Spec: DiskStandbySpec(0.2), Coef: []float64{1, 0, 0, 0, 0}}
+	if _, err := m.Validate(&align.Dataset{}); !errors.Is(err, ErrNoData) {
+		t.Error("empty validation accepted")
+	}
+}
+
+// A synthetic standby machine: disk power has a rotation floor that
+// collapses when there has been no recent disk activity. The stateless
+// Eq. 4 cannot express that; the EWMA spec can.
+func TestSeqModelLearnsStandby(t *testing.T) {
+	build := func(n int, seedPhase int) *align.Dataset {
+		ds := &align.Dataset{}
+		recent := 0.0
+		const alpha = 0.3
+		for i := 0; i < n; i++ {
+			// Bursts of disk interrupts with long idle stretches.
+			ints := 0.0
+			if (i+seedPhase)%40 < 12 {
+				ints = 0.15 + 0.05*float64((i+seedPhase)%3)
+			}
+			recent += alpha * (ints - recent)
+			dma := 900*ints + 12*float64(i%7)
+			s := mkSample(0.5, 1, 50, 300, dma, ints*2)
+			// Route the chosen rate into the disk vector only.
+			for c := range s.Ints[1] {
+				s.Ints[1][c] = uint64(ints * 2.8e9 / 1e6 / 2)
+			}
+			s.TargetSeconds = float64(i + 1)
+			var r power.Reading
+			spinning := 0.0
+			if recent > 0.01 {
+				spinning = 17.7 // rotation floor while recently active
+			}
+			r[power.SubDisk] = 3.9 + spinning + 8*ints
+			ds.Rows = append(ds.Rows, align.Row{Power: r, Counters: s})
+		}
+		return ds
+	}
+	train := build(240, 0)
+	eval := build(200, 7)
+
+	seq, err := TrainSeq(DiskStandbySpec(0.3), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Train(DiskSpec(), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqErr, err := seq.Validate(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flatErr, err := flat.Validate(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqErr >= flatErr/2 {
+		t.Errorf("history model %.2f%% should beat stateless %.2f%% decisively", seqErr, flatErr)
+	}
+	// The step transition is only approximated by the saturating
+	// feature, so mid-decay samples keep some error; the point is the
+	// decisive win above.
+	if seqErr > 45 {
+		t.Errorf("history model error %.2f%% too large", seqErr)
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"trickledown/internal/align"
+	"trickledown/internal/regress"
+	"trickledown/internal/stats"
+)
+
+// ErrNoData is returned when training or validating on an empty dataset.
+var ErrNoData = errors.New("core: empty dataset")
+
+// Model is a fitted subsystem power model.
+type Model struct {
+	// Spec is the model's definition.
+	Spec ModelSpec
+	// Coef holds the fitted coefficients, one per design column.
+	Coef []float64
+	// Fit carries the training diagnostics.
+	Fit *regress.Fit
+}
+
+// Train fits spec against the measured rail power in ds.
+func Train(spec ModelSpec, ds *align.Dataset) (*Model, error) {
+	if ds == nil || ds.Len() == 0 {
+		return nil, ErrNoData
+	}
+	x := make([][]float64, ds.Len())
+	y := make([]float64, ds.Len())
+	for i, row := range ds.Rows {
+		m := ExtractMetrics(&row.Counters)
+		x[i] = spec.Design(m)
+		y[i] = row.Power[spec.Sub]
+	}
+	fit, err := regress.OLS(x, y)
+	if err != nil {
+		return nil, fmt.Errorf("core: training %s: %w", spec.Name, err)
+	}
+	return &Model{Spec: spec, Coef: fit.Coef, Fit: fit}, nil
+}
+
+// Predict evaluates the model on one sample's metrics.
+func (m *Model) Predict(met *Metrics) float64 {
+	return regress.Predict(m.Coef, m.Spec.Design(met))
+}
+
+// Trace returns the aligned measured and modeled series over a dataset —
+// the two curves of the paper's figures.
+func (m *Model) Trace(ds *align.Dataset) (measured, modeled []float64) {
+	measured = make([]float64, ds.Len())
+	modeled = make([]float64, ds.Len())
+	for i, row := range ds.Rows {
+		measured[i] = row.Power[m.Spec.Sub]
+		modeled[i] = m.Predict(ExtractMetrics(&row.Counters))
+	}
+	return measured, modeled
+}
+
+// Validate computes the paper's Equation 6 average error (percent) of
+// the model over a dataset.
+func (m *Model) Validate(ds *align.Dataset) (float64, error) {
+	if ds == nil || ds.Len() == 0 {
+		return 0, ErrNoData
+	}
+	measured, modeled := m.Trace(ds)
+	return stats.AverageError(modeled, measured)
+}
+
+// ValidateOffset computes Equation 6 after removing a DC offset, the
+// paper's procedure for the disk model ("this error is calculated by
+// first subtracting the 21.6W of idle (DC) disk power consumption").
+func (m *Model) ValidateOffset(ds *align.Dataset, dc float64) (float64, error) {
+	if ds == nil || ds.Len() == 0 {
+		return 0, ErrNoData
+	}
+	measured, modeled := m.Trace(ds)
+	return stats.AverageErrorOffset(modeled, measured, dc)
+}
+
+// String renders the fitted model with named coefficients.
+func (m *Model) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]:", m.Spec.Name, m.Spec.Sub)
+	for i, c := range m.Coef {
+		term := fmt.Sprintf("x%d", i)
+		if i < len(m.Spec.Terms) {
+			term = m.Spec.Terms[i]
+		}
+		if m.Fit != nil && i < len(m.Fit.StdErr) {
+			fmt.Fprintf(&b, " (%+.4g±%.2g)*%s", c, m.Fit.StdErr[i], term)
+		} else {
+			fmt.Fprintf(&b, " %+.4g*%s", c, term)
+		}
+	}
+	if m.Fit != nil {
+		fmt.Fprintf(&b, "  (R²=%.3f, n=%d)", m.Fit.R2, m.Fit.N)
+	}
+	return b.String()
+}

@@ -1,0 +1,141 @@
+// Package daq models the paper's power-measurement apparatus: sense
+// resistors in series with each subsystem's regulated supply, sampled by
+// data-acquisition hardware in a separate workstation at ten thousand
+// samples per second, then averaged for correlation with the 1 Hz
+// performance-counter samples. Synchronization between the two machines
+// follows the paper exactly: at each counter sample the target emits a
+// byte on a serial port whose transmit line the DAQ records alongside
+// the power channels, and the merge happens offline (internal/align).
+//
+// Because the DAQ is a separate instrument, it runs on its own clock
+// with a parts-per-million rate error relative to the target — which is
+// why the paper needs the sync pulse at all.
+package daq
+
+import (
+	"math"
+
+	"trickledown/internal/power"
+	"trickledown/internal/sim"
+)
+
+// Config describes the acquisition hardware.
+type Config struct {
+	// SampleHz is the per-channel sampling rate (the paper's 10 kHz).
+	SampleHz float64
+	// NoiseStd is per-sample sensor noise in Watts.
+	NoiseStd float64
+	// FullScaleWatts and Bits define the ADC quantization grid.
+	FullScaleWatts float64
+	Bits           int
+	// ClockSkewPPM is the DAQ clock's rate error relative to the target
+	// system's clock, in parts per million.
+	ClockSkewPPM float64
+}
+
+// DefaultConfig matches the paper's setup: 10 kHz, 12-bit converter with
+// a 400 W full scale, modest sensor noise, and a realistic crystal skew.
+func DefaultConfig() Config {
+	return Config{
+		SampleHz:       10000,
+		NoiseStd:       0.35,
+		FullScaleWatts: 400,
+		Bits:           12,
+		ClockSkewPPM:   40,
+	}
+}
+
+// Record is the averaged power for one sync-to-sync window.
+type Record struct {
+	// DAQSeconds is the window-closing sync edge's timestamp on the
+	// DAQ's own clock.
+	DAQSeconds float64
+	// Mean is the per-rail average over the window.
+	Mean power.Reading
+	// Samples is how many ADC samples the window averaged.
+	Samples int64
+}
+
+// DAQ is the acquisition workstation.
+type DAQ struct {
+	cfg  Config
+	rng  *sim.RNG
+	step float64 // quantization step in Watts
+
+	sum     power.Reading
+	n       int64
+	daqTime float64
+	records []Record
+}
+
+// New returns a DAQ with the given configuration and a private random
+// stream split from parent. It panics on a non-positive sample rate or
+// full scale, or fewer than 2 bits.
+func New(cfg Config, parent *sim.RNG) *DAQ {
+	if cfg.SampleHz <= 0 {
+		panic("daq: non-positive sample rate")
+	}
+	if cfg.FullScaleWatts <= 0 || cfg.Bits < 2 {
+		panic("daq: invalid ADC configuration")
+	}
+	return &DAQ{
+		cfg:  cfg,
+		rng:  parent.Split(),
+		step: cfg.FullScaleWatts / float64(uint64(1)<<cfg.Bits),
+	}
+}
+
+// Acquire integrates one target-clock slice of true rail power. The
+// slice's ADC samples are statistically aggregated: the mean of k noisy
+// samples is the truth plus noise shrunk by sqrt(k), quantized on the
+// ADC grid.
+func (d *DAQ) Acquire(sliceSec float64, truth power.Reading) {
+	if sliceSec <= 0 {
+		return
+	}
+	k := d.cfg.SampleHz * sliceSec
+	if k < 1 {
+		k = 1
+	}
+	sigma := d.cfg.NoiseStd / math.Sqrt(k)
+	for i, w := range truth {
+		v := w + d.rng.Norm(0, sigma)
+		d.sum[i] += d.quantize(v) * k
+	}
+	d.n += int64(k)
+	d.daqTime += sliceSec * (1 + d.cfg.ClockSkewPPM*1e-6)
+}
+
+// quantize snaps a reading onto the ADC grid, clamped to full scale.
+func (d *DAQ) quantize(w float64) float64 {
+	if w < 0 {
+		w = 0
+	}
+	if w > d.cfg.FullScaleWatts {
+		w = d.cfg.FullScaleWatts
+	}
+	return math.Round(w/d.step) * d.step
+}
+
+// SyncPulse records a serial-port sync edge: the current averaging
+// window closes and a Record is appended. Windows with no samples are
+// dropped (back-to-back pulses).
+func (d *DAQ) SyncPulse() {
+	if d.n == 0 {
+		return
+	}
+	var mean power.Reading
+	for i, s := range d.sum {
+		mean[i] = s / float64(d.n)
+	}
+	d.records = append(d.records, Record{
+		DAQSeconds: d.daqTime,
+		Mean:       mean,
+		Samples:    d.n,
+	})
+	d.sum = power.Reading{}
+	d.n = 0
+}
+
+// Records returns the closed windows in arrival order.
+func (d *DAQ) Records() []Record { return d.records }

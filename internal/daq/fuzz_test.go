@@ -1,0 +1,44 @@
+package daq
+
+import (
+	"math"
+	"testing"
+
+	"trickledown/internal/power"
+	"trickledown/internal/sim"
+)
+
+// FuzzAcquire checks acquisition never produces out-of-range or
+// non-finite window means for arbitrary bounded power inputs.
+func FuzzAcquire(f *testing.F) {
+	f.Add(uint64(1), 40.0, 100)
+	f.Add(uint64(2), -5.0, 3)
+	f.Add(uint64(3), 1e5, 50)
+	f.Fuzz(func(t *testing.T, seed uint64, watts float64, slices int) {
+		if slices < 1 || slices > 2000 {
+			return
+		}
+		if math.IsNaN(watts) || math.IsInf(watts, 0) {
+			return
+		}
+		cfg := DefaultConfig()
+		d := New(cfg, sim.NewRNG(seed))
+		truth := power.Reading{watts, watts / 2, watts / 3, watts / 4, watts / 5}
+		for i := 0; i < slices; i++ {
+			d.Acquire(0.001, truth)
+		}
+		d.SyncPulse()
+		recs := d.Records()
+		if len(recs) != 1 {
+			t.Fatalf("records = %d", len(recs))
+		}
+		for ch, v := range recs[0].Mean {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("channel %d mean %v", ch, v)
+			}
+			if v < 0 || v > cfg.FullScaleWatts {
+				t.Fatalf("channel %d mean %v outside ADC range", ch, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTable1Calibration pins the substrate to the paper's Table 1
+// numerically: every workload's sustained per-subsystem power must stay
+// within tolerance of the published Watts. This is the regression guard
+// for the workload profiles and ground-truth power constants — if a
+// profile or a power coefficient drifts, this fails before the error
+// tables silently change meaning.
+func TestTable1Calibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	// Scale 1.0 durations make this the slowest test in the suite
+	// (~15 s); scale 0.6 keeps instance ramps realistic while halving
+	// the cost.
+	r := NewRunner(Options{Seed: 100, TrainSeed: 10, Scale: 0.6})
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative tolerance per subsystem: CPU and memory swing with phase
+	// randomness; chipset carries the domain artifact; I/O and disk are
+	// tightly pinned. Disk gets 3%: the paper reads 22.1 W for several
+	// workloads that do no disk I/O at all (their rail coupling), while
+	// our disks correctly sit at the 21.6 W idle floor.
+	tol := []float64{0.08, 0.06, 0.08, 0.03, 0.03}
+	for _, row := range tab.Rows {
+		for j, want := range row.Paper[:5] {
+			got := row.Ours[j]
+			if rel := math.Abs(got-want) / want; rel > tol[j] {
+				t.Errorf("%s %s: ours %.1f W vs paper %.1f W (%.1f%% off, tol %.0f%%)",
+					row.Workload, tab.Columns[j], got, want, 100*rel, 100*tol[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trickledown/internal/power"
+)
+
+// testRunner runs everything at reduced scale so the whole suite stays
+// fast; assertions are correspondingly loose — they check shape, not
+// calibration (cmd/tdtables checks calibration at full scale).
+func testRunner() *Runner {
+	return NewRunner(Options{Seed: 100, TrainSeed: 10, Scale: 0.35})
+}
+
+func TestTable1Shape(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	idle := tab.Row("idle")
+	gcc := tab.Row("gcc")
+	dbt := tab.Row("dbt-2")
+	dl := tab.Row("diskload")
+	if idle == nil || gcc == nil || dbt == nil || dl == nil {
+		t.Fatal("missing rows")
+	}
+	// Idle is ~46% of peak total; CPU dominates for SPEC; dbt-2 barely
+	// above idle; DiskLoad has the highest I/O and disk power.
+	if idle.Ours[5] > 160 || idle.Ours[5] < 120 {
+		t.Errorf("idle total = %v", idle.Ours[5])
+	}
+	if gcc.Ours[0] < 0.5*gcc.Ours[5] {
+		t.Errorf("gcc CPU share = %v of %v, want >53%%", gcc.Ours[0], gcc.Ours[5])
+	}
+	if dbt.Ours[0] > 70 {
+		t.Errorf("dbt-2 CPU power = %v, should idle waiting for disk", dbt.Ours[0])
+	}
+	for _, row := range tab.Rows {
+		if row.Workload == "diskload" {
+			continue
+		}
+		if row.Ours[3] > dl.Ours[3]+0.1 {
+			t.Errorf("%s I/O power %v exceeds diskload %v", row.Workload, row.Ours[3], dl.Ours[3])
+		}
+		if row.Ours[4] > dl.Ours[4]+0.05 {
+			t.Errorf("%s disk power %v exceeds diskload %v", row.Workload, row.Ours[4], dl.Ours[4])
+		}
+	}
+	// Disk swing across all workloads stays within a few percent (the
+	// no-spindown server-disk property).
+	if dl.Ours[4] > idle.Ours[4]*1.05 {
+		t.Errorf("disk power swing too large: %v vs idle %v", dl.Ours[4], idle.Ours[4])
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	jbb := tab.Row("specjbb")
+	art := tab.Row("art")
+	if jbb == nil || art == nil {
+		t.Fatal("missing rows")
+	}
+	// SPECjbb's warehouse ramp is the highest-variance CPU workload;
+	// art is among the steadiest.
+	if jbb.Ours[0] < 10 {
+		t.Errorf("specjbb CPU stddev = %v, want large", jbb.Ours[0])
+	}
+	if art.Ours[0] > 1.5 {
+		t.Errorf("art CPU stddev = %v, want small", art.Ours[0])
+	}
+	if jbb.Ours[0] < 10*art.Ours[0] {
+		t.Errorf("specjbb (%v) should dwarf art (%v)", jbb.Ours[0], art.Ours[0])
+	}
+}
+
+func TestTables3And4Shape(t *testing.T) {
+	r := testRunner()
+	t3, err := r.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t4, err := r.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Rows) != len(IntegerWorkloads())+1 {
+		t.Fatalf("table 3 rows = %d", len(t3.Rows))
+	}
+	if len(t4.Rows) != len(FPWorkloads())+1 {
+		t.Fatalf("table 4 rows = %d", len(t4.Rows))
+	}
+	// Headline: every subsystem's average error is below the paper's 9%.
+	avg := t3.Row("average")
+	for j, s := range power.Subsystems() {
+		if avg.Ours[j] > 9 {
+			t.Errorf("table 3 average %s error = %v%%, headline is <9%%", s, avg.Ours[j])
+		}
+	}
+	avg4 := t4.Row("average")
+	for j, s := range power.Subsystems() {
+		if avg4.Ours[j] > 9 {
+			t.Errorf("table 4 average %s error = %v%%", s, avg4.Ours[j])
+		}
+	}
+	// mcf is the worst CPU row (the fetch model misses speculative
+	// search power).
+	mcf := t3.Row("mcf")
+	if mcf.Ours[0] < 5 {
+		t.Errorf("mcf CPU error = %v%%, expected the paper's pathology (>5%%)", mcf.Ours[0])
+	}
+	for _, row := range append(t3.Rows, t4.Rows...) {
+		if row.Workload == "mcf" || row.Workload == "average" {
+			continue
+		}
+		if row.Ours[0] > mcf.Ours[0] {
+			t.Errorf("%s CPU error %v%% exceeds mcf's %v%%", row.Workload, row.Ours[0], mcf.Ours[0])
+		}
+	}
+	// I/O and disk models stay comfortably accurate everywhere.
+	for _, row := range append(t3.Rows, t4.Rows...) {
+		if row.Ours[3] > 4 {
+			t.Errorf("%s I/O error = %v%%", row.Workload, row.Ours[3])
+		}
+		if row.Ours[4] > 2 {
+			t.Errorf("%s disk error = %v%%", row.Workload, row.Ours[4])
+		}
+	}
+	// Memory: the bus model is best on its training workload.
+	if t3.Row("mcf").Ours[2] > 2 {
+		t.Errorf("mcf memory error = %v%%, should be near-training quality", t3.Row("mcf").Ours[2])
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	r := testRunner()
+	tab, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "workload", "paper", "diskload", "Total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	if tab.Row("nope") != nil {
+		t.Error("Row(nope) should be nil")
+	}
+}
+
+func TestEquationsShape(t *testing.T) {
+	r := testRunner()
+	eqs, err := r.Equations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eqs) != 6 {
+		t.Fatalf("equations = %d", len(eqs))
+	}
+	joined := strings.Join(eqs, "\n")
+	for _, want := range []string{"Eq.1", "Eq.2", "Eq.3", "Eq.4", "Eq.5", "const"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("equations missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestFigures(t *testing.T) {
+	r := testRunner()
+	for name, get := range map[string]func() (*Figure, error){
+		"fig2": r.Figure2, "fig3": r.Figure3, "fig5": r.Figure5,
+		"fig5l3": r.Figure5L3, "fig6": r.Figure6, "fig7": r.Figure7,
+	} {
+		f, err := get()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f.Trace.Len() < 20 {
+			t.Errorf("%s: only %d samples", name, f.Trace.Len())
+		}
+		if f.Trace.Series("Measured") == nil || f.Trace.Series("Modeled") == nil {
+			t.Errorf("%s: missing series", name)
+		}
+		if f.AvgErr < 0 || f.AvgErr > 60 {
+			t.Errorf("%s: avg error = %v%%", name, f.AvgErr)
+		}
+	}
+}
+
+func TestFigureErrorsTrackPaper(t *testing.T) {
+	r := testRunner()
+	f2, err := r.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2.AvgErr > 8 {
+		t.Errorf("figure 2 error = %v%%, paper reports 3.1%%", f2.AvgErr)
+	}
+	f5, err := r.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f5.AvgErr > 6 {
+		t.Errorf("figure 5 error = %v%%, paper reports 2.2%%", f5.AvgErr)
+	}
+	f7, err := r.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f7.AvgErr > 4 {
+		t.Errorf("figure 7 error = %v%%, paper reports <1%%", f7.AvgErr)
+	}
+}
+
+func TestFigure4PrefetchGrowth(t *testing.T) {
+	r := NewRunner(Options{Seed: 100, TrainSeed: 10, Scale: 0.15})
+	tr, err := r.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := tr.Series("Prefetch")
+	np := tr.Series("Non-Prefetch")
+	all := tr.Series("All")
+	if pf == nil || np == nil || all == nil {
+		t.Fatal("missing series")
+	}
+	n := len(pf.Values)
+	// Prefetch share of traffic grows from the early ramp to the
+	// saturated tail — the paper's model-failure signature.
+	early := pf.Values[n/6] / (all.Values[n/6] + 1e-9)
+	late := pf.Values[n-2] / (all.Values[n-2] + 1e-9)
+	if late <= early {
+		t.Errorf("prefetch share did not grow: %v -> %v", early, late)
+	}
+	for i := range pf.Values {
+		total := pf.Values[i] + np.Values[i]
+		if diff := total - all.Values[i]; diff > 0.02*all.Values[i]+1 || diff < -0.02*all.Values[i]-1 {
+			t.Errorf("sample %d: prefetch+nonprefetch = %v, all = %v", i, total, all.Values[i])
+		}
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := testRunner()
+	a, err := r.dataset("idle", 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.dataset("idle", 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("identical runs not cached")
+	}
+	c, err := r.dataset("idle", 30, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds shared a cache entry")
+	}
+}
+
+func TestRunnerBadWorkload(t *testing.T) {
+	r := testRunner()
+	if _, err := r.dataset("nope", 30, 1); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := r.validation("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestDurationFloor(t *testing.T) {
+	r := NewRunner(Options{Scale: 0.0001})
+	if d := r.duration(390); d != 30 {
+		t.Errorf("duration floor = %v", d)
+	}
+	if NewRunner(Options{}).opt.Scale != 1 {
+		t.Error("zero scale not defaulted")
+	}
+}
+
+func TestExtensions(t *testing.T) {
+	r := testRunner()
+	comps, err := r.Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 3 {
+		t.Fatalf("extensions = %d", len(comps))
+	}
+	for _, c := range comps {
+		if c.BaselineErr < 0 || c.VariantErr < 0 {
+			t.Errorf("%s: negative error", c.Name)
+		}
+		if c.String() == "" {
+			t.Error("empty comparison string")
+		}
+	}
+	// The three headline directions: DVFS-aware beats fixed-frequency,
+	// history beats stateless on spindown hardware, counters beat OS
+	// utilization.
+	if comps[0].VariantErr >= comps[0].BaselineErr {
+		t.Errorf("DVFS: %s", comps[0])
+	}
+	if comps[1].VariantErr >= comps[1].BaselineErr {
+		t.Errorf("spindown: %s", comps[1])
+	}
+	if comps[2].VariantErr >= comps[2].BaselineErr {
+		t.Errorf("os-util: %s", comps[2])
+	}
+}

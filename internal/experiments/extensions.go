@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"trickledown/internal/align"
+	"trickledown/internal/core"
+	"trickledown/internal/disk"
+	"trickledown/internal/machine"
+	"trickledown/internal/workload"
+)
+
+// Extension experiments: studies beyond the paper's evaluation that
+// probe where the trickle-down approach ends. Each returns a small
+// comparison the report renders; the quantitative claims are asserted in
+// tests, not just printed.
+
+// Comparison pairs two models' Equation 6 errors on one evaluation.
+type Comparison struct {
+	// Name describes the study.
+	Name string
+	// Baseline and Variant label the two models.
+	Baseline, Variant string
+	// BaselineErr and VariantErr are their Eq. 6 errors, percent.
+	BaselineErr, VariantErr float64
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s: %s %.2f%% vs %s %.2f%%",
+		c.Name, c.Baseline, c.BaselineErr, c.Variant, c.VariantErr)
+}
+
+// dvfsRun runs gcc stepping through the given operating points.
+func (r *Runner) dvfsRun(schedule []float64, secsPer float64, seed uint64) (*align.Dataset, error) {
+	spec, err := workload.ByName("gcc")
+	if err != nil {
+		return nil, err
+	}
+	spec.StaggerSec = 1
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	srv, err := machine.New(cfg, spec)
+	if err != nil {
+		return nil, err
+	}
+	srv.Run(20)
+	for _, f := range schedule {
+		srv.SetFreqScaleAll(f)
+		srv.Run(secsPer * r.opt.Scale)
+	}
+	ds, err := srv.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	return ds.Skip(20), nil
+}
+
+// ExtensionDVFS compares fixed-frequency Eq. 1 against the
+// frequency-aware variant on a machine at a 0.6x operating point.
+func (r *Runner) ExtensionDVFS() (*Comparison, error) {
+	fixedTrain, err := r.dvfsRun([]float64{1.0}, 120, r.opt.TrainSeed)
+	if err != nil {
+		return nil, err
+	}
+	eq1, err := core.Train(core.CPUSpec(), fixedTrain)
+	if err != nil {
+		return nil, err
+	}
+	sweepTrain, err := r.dvfsRun([]float64{1.0, 0.8, 0.6, 0.5, 0.9, 0.7}, 25, r.opt.TrainSeed)
+	if err != nil {
+		return nil, err
+	}
+	aware, err := core.Train(core.CPUDVFSSpec(), sweepTrain)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := r.dvfsRun([]float64{0.6}, 60, r.opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	be, err := eq1.Validate(eval)
+	if err != nil {
+		return nil, err
+	}
+	ve, err := aware.Validate(eval)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Name:     "CPU model under DVFS (0.6x operating point)",
+		Baseline: "fixed-frequency Eq.1", BaselineErr: be,
+		Variant: "frequency-aware Eq.1 (fV²)", VariantErr: ve,
+	}, nil
+}
+
+// spindownRun runs a single DiskLoad instance on mobile-policy disks,
+// which cycle between rotation and standby.
+func (r *Runner) spindownRun(seed uint64, seconds float64) (*align.Dataset, error) {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	cfg.DiskPolicy = disk.MobilePolicy()
+	srv, err := machine.NewMixed(cfg, []machine.Placement{{Workload: "diskload", Thread: 0}})
+	if err != nil {
+		return nil, err
+	}
+	srv.Run(seconds * r.opt.Scale)
+	return srv.Dataset()
+}
+
+// ExtensionSpindown compares the stateless Eq. 4 against the
+// history-aware standby model on disks with power management.
+func (r *Runner) ExtensionSpindown() (*Comparison, error) {
+	train, err := r.spindownRun(r.opt.TrainSeed, 260)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := r.spindownRun(r.opt.Seed, 200)
+	if err != nil {
+		return nil, err
+	}
+	flat, err := core.Train(core.DiskSpec(), train)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := core.TrainSeq(core.DiskStandbySpec(0.25), train)
+	if err != nil {
+		return nil, err
+	}
+	be, err := flat.Validate(eval)
+	if err != nil {
+		return nil, err
+	}
+	ve, err := seq.Validate(eval)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Name:     "Disk model on spindown hardware",
+		Baseline: "stateless Eq.4", BaselineErr: be,
+		Variant: "Eq.4 + EWMA recent-activity", VariantErr: ve,
+	}, nil
+}
+
+// ExtensionOSUtil compares Eq. 1 against the Heath/Kotla-style
+// OS-utilization CPU model on an IPC-varying evaluation.
+func (r *Runner) ExtensionOSUtil() (*Comparison, error) {
+	train, err := r.dataset("gcc", r.duration(240), r.opt.TrainSeed)
+	if err != nil {
+		return nil, err
+	}
+	eq1, err := core.Train(core.CPUSpec(), train)
+	if err != nil {
+		return nil, err
+	}
+	utilM, err := core.Train(core.CPUOSUtilSpec(), train)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := r.dataset("lucas", r.duration(150), r.opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	ue, err := utilM.Validate(eval)
+	if err != nil {
+		return nil, err
+	}
+	ee, err := eq1.Validate(eval)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Name:     "CPU model channel (lucas: high utilization, low IPC)",
+		Baseline: "OS-utilization (Heath/Kotla)", BaselineErr: ue,
+		Variant: "on-chip counters Eq.1", VariantErr: ee,
+	}, nil
+}
+
+// Extensions runs every extension study.
+func (r *Runner) Extensions() ([]Comparison, error) {
+	var out []Comparison
+	for _, get := range []func() (*Comparison, error){
+		r.ExtensionDVFS, r.ExtensionSpindown, r.ExtensionOSUtil,
+	} {
+		c, err := get()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, *c)
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+// Published results from the paper, used for side-by-side comparison in
+// every regenerated table. Ordering of the value slices follows
+// power.Subsystems(): CPU, Chipset, Memory, I/O, Disk.
+
+// PaperTable1 is "Table 1: Subsystem Average Power (Watts)".
+var PaperTable1 = map[string][5]float64{
+	"idle":     {38.4, 19.9, 28.1, 32.9, 21.6},
+	"gcc":      {162, 20.0, 34.2, 32.9, 21.8},
+	"mcf":      {167, 20.0, 39.6, 32.9, 21.9},
+	"vortex":   {175, 17.3, 35.0, 32.9, 21.9},
+	"art":      {159, 18.7, 35.8, 33.5, 21.9},
+	"lucas":    {135, 19.5, 46.4, 33.5, 22.1},
+	"mesa":     {165, 16.8, 33.9, 33.0, 21.8},
+	"mgrid":    {146, 19.0, 45.1, 32.9, 22.1},
+	"wupwise":  {167, 18.8, 45.2, 33.5, 22.1},
+	"dbt-2":    {48.3, 19.8, 29.0, 33.2, 21.6},
+	"specjbb":  {112, 18.7, 37.8, 32.9, 21.9},
+	"diskload": {123, 19.9, 42.5, 35.2, 22.2},
+}
+
+// PaperTable1Total is Table 1's "Total" column.
+var PaperTable1Total = map[string]float64{
+	"idle": 141, "gcc": 271, "mcf": 281, "vortex": 282, "art": 269,
+	"lucas": 257, "mesa": 271, "mgrid": 265, "wupwise": 287, "dbt-2": 152,
+	"specjbb": 223, "diskload": 243,
+}
+
+// PaperTable2 is "Table 2: Subsystem Power Standard Deviation (Watts)".
+var PaperTable2 = map[string][5]float64{
+	"idle":     {0.340, 0.0918, 0.0328, 0.127, 0.0271},
+	"gcc":      {8.37, 0.226, 2.36, 0.133, 0.0532},
+	"mcf":      {5.62, 0.171, 1.43, 0.125, 0.0328},
+	"vortex":   {1.22, 0.0711, 0.719, 0.135, 0.0171},
+	"art":      {0.393, 0.0686, 0.190, 0.135, 0.00550},
+	"lucas":    {1.64, 0.123, 0.266, 0.133, 0.00719},
+	"mesa":     {1.00, 0.0587, 0.299, 0.127, 0.00839},
+	"mgrid":    {0.525, 0.0469, 0.151, 0.132, 0.00523},
+	"wupwise":  {2.60, 0.131, 0.427, 0.135, 0.0110},
+	"dbt-2":    {8.23, 0.133, 0.688, 0.145, 0.0349},
+	"specjbb":  {26.2, 0.327, 2.88, 0.0558, 0.0734},
+	"diskload": {18.6, 0.0948, 3.80, 0.153, 0.0746},
+}
+
+// PaperTable3 is "Table 3: Integer Average Model Error" (percent).
+var PaperTable3 = map[string][5]float64{
+	"idle":     {1.74, 0.586, 3.80, 0.356, 0.172},
+	"gcc":      {4.23, 10.9, 10.7, 0.411, 0.201},
+	"mcf":      {12.3, 7.7, 2.2, 0.332, 0.154},
+	"vortex":   {6.53, 13.0, 15.6, 0.295, 0.332},
+	"dbt-2":    {9.67, 0.561, 2.17, 5.62, 0.176},
+	"specjbb":  {9.00, 7.45, 6.14, 0.393, 0.144},
+	"diskload": {5.93, 3.06, 2.93, 0.706, 0.161},
+}
+
+// PaperTable4 is "Table 4: Floating-Point Average Model Error" (percent).
+var PaperTable4 = map[string][5]float64{
+	"art":     {9.65, 5.87, 8.92, 0.240, 1.90},
+	"lucas":   {7.69, 1.46, 17.51, 0.245, 0.307},
+	"mesa":    {5.59, 11.3, 8.31, 0.334, 0.168},
+	"mgrid":   {0.360, 4.51, 11.4, 0.365, 0.546},
+	"wupwise": {7.34, 5.21, 15.9, 0.588, 0.420},
+}
+
+// Paper per-figure average errors for the trace experiments.
+const (
+	PaperFigure2Err = 3.1  // CPU model on gcc
+	PaperFigure3Err = 1.0  // L3-miss memory model on mesa
+	PaperFigure5Err = 2.2  // bus-transaction memory model on mcf
+	PaperFigure6Err = 1.75 // disk model on DiskLoad, DC removed
+	PaperFigure7Err = 1.0  // I/O model on DiskLoad (raw; 32% with DC removed)
+)

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"trickledown/internal/power"
+	"trickledown/internal/stats"
+	"trickledown/internal/workload"
+)
+
+// Table is one regenerated paper table, with the published values kept
+// alongside for comparison.
+type Table struct {
+	// Title names the experiment.
+	Title string
+	// Columns are the value column headers (after the workload column).
+	Columns []string
+	// Rows holds one entry per workload, in paper order.
+	Rows []TableRow
+}
+
+// TableRow pairs our measured values with the paper's for one workload.
+type TableRow struct {
+	Workload string
+	Ours     []float64
+	Paper    []float64
+}
+
+// Render writes the table with ours/paper value pairs.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-10s %-6s", "workload", "series")
+	for _, c := range t.Columns {
+		header += fmt.Sprintf(" %9s", c)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	row := func(name, series string, vals []float64) error {
+		line := fmt.Sprintf("%-10s %-6s", name, series)
+		for _, v := range vals {
+			line += fmt.Sprintf(" %9.3f", v)
+		}
+		_, err := fmt.Fprintln(w, line)
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r.Workload, "ours", r.Ours); err != nil {
+			return err
+		}
+		if len(r.Paper) > 0 {
+			if err := row("", "paper", r.Paper); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Row returns the row for a workload, or nil.
+func (t *Table) Row(name string) *TableRow {
+	for i := range t.Rows {
+		if t.Rows[i].Workload == name {
+			return &t.Rows[i]
+		}
+	}
+	return nil
+}
+
+// subsystemColumns names the five rails in table order.
+func subsystemColumns() []string {
+	out := make([]string, 0, power.NumSubsystems)
+	for _, s := range power.Subsystems() {
+		out = append(out, s.String())
+	}
+	return out
+}
+
+// sustainedWindow returns the first dataset row index at which all of a
+// workload's staggered instances are running (plus settling time),
+// clamped so at least the last third of the trace is always used.
+func sustainedWindow(spec workload.Spec, rows int) int {
+	ramp := int(float64(spec.Instances-1)*spec.StaggerSec) + 30
+	if lim := rows * 2 / 3; ramp > lim {
+		ramp = lim
+	}
+	if ramp < 0 {
+		ramp = 0
+	}
+	return ramp
+}
+
+// characterize runs every workload (in parallel) and applies fn to the
+// sustained window of each subsystem's measured power series.
+func (r *Runner) characterize(fn func([]float64) float64) (map[string][]float64, error) {
+	names := workload.TableOrder()
+	out := make(map[string][]float64, len(names))
+	errs := make([]error, len(names))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			spec, err := r.scaledSpec(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ds, err := r.validation(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ds = ds.Skip(sustainedWindow(spec, ds.Len()))
+			vals := make([]float64, 0, power.NumSubsystems)
+			for _, s := range power.Subsystems() {
+				vals = append(vals, fn(ds.PowerColumn(s)))
+			}
+			mu.Lock()
+			out[name] = vals
+			mu.Unlock()
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Table1 regenerates "Subsystem Average Power (Watts)", including the
+// total column. Averages are taken over the sustained window (all
+// instances running); the paper's long looped runs make its averages
+// sustained too.
+func (r *Runner) Table1() (*Table, error) {
+	means, err := r.characterize(stats.Mean)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 1: Subsystem Average Power (Watts)",
+		Columns: append(subsystemColumns(), "Total"),
+	}
+	for _, name := range workload.TableOrder() {
+		ours := means[name]
+		total := 0.0
+		for _, v := range ours {
+			total += v
+		}
+		paper := PaperTable1[name]
+		t.Rows = append(t.Rows, TableRow{
+			Workload: name,
+			Ours:     append(append([]float64{}, ours...), total),
+			Paper:    append(paper[:], PaperTable1Total[name]),
+		})
+	}
+	return t, nil
+}
+
+// Table2 regenerates "Subsystem Power Standard Deviation (Watts)".
+func (r *Runner) Table2() (*Table, error) {
+	sds, err := r.characterize(stats.StdDev)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 2: Subsystem Power Standard Deviation (Watts)",
+		Columns: subsystemColumns(),
+	}
+	for _, name := range workload.TableOrder() {
+		paper := PaperTable2[name]
+		t.Rows = append(t.Rows, TableRow{Workload: name, Ours: sds[name], Paper: paper[:]})
+	}
+	return t, nil
+}
+
+// modelErrors validates the trained estimator on one workload, returning
+// the Equation 6 average error (percent) per subsystem.
+func (r *Runner) modelErrors(name string) ([]float64, error) {
+	est, err := r.Estimator()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := r.validation(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, power.NumSubsystems)
+	for _, s := range power.Subsystems() {
+		e, err := est.Model(s).Validate(ds)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: validating %s on %s: %w", s, name, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// errorTable builds a validation-error table for the given workloads,
+// validating them in parallel (training happens once, up front).
+func (r *Runner) errorTable(title string, names []string, paper map[string][5]float64) (*Table, error) {
+	if _, err := r.Estimator(); err != nil {
+		return nil, err
+	}
+	t := &Table{Title: title, Columns: subsystemColumns()}
+	t.Rows = make([]TableRow, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			ours, err := r.modelErrors(name)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			row := TableRow{Workload: name, Ours: ours}
+			if p, ok := paper[name]; ok {
+				row.Paper = p[:]
+			}
+			t.Rows[i] = row
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Per-subsystem averages.
+	avg := TableRow{Workload: "average"}
+	avg.Ours = make([]float64, power.NumSubsystems)
+	avg.Paper = make([]float64, power.NumSubsystems)
+	for j := 0; j < power.NumSubsystems; j++ {
+		for _, row := range t.Rows {
+			avg.Ours[j] += row.Ours[j] / float64(len(names))
+			if len(row.Paper) > j {
+				avg.Paper[j] += row.Paper[j] / float64(len(names))
+			}
+		}
+	}
+	t.Rows = append(t.Rows, avg)
+	return t, nil
+}
+
+// IntegerWorkloads lists Table 3's rows in paper order.
+func IntegerWorkloads() []string {
+	return []string{"idle", "gcc", "mcf", "vortex", "dbt-2", "specjbb", "diskload"}
+}
+
+// FPWorkloads lists Table 4's rows in paper order.
+func FPWorkloads() []string {
+	return []string{"art", "lucas", "mesa", "mgrid", "wupwise"}
+}
+
+// Table3 regenerates "Integer Average Model Error (%)".
+func (r *Runner) Table3() (*Table, error) {
+	return r.errorTable("Table 3: Integer Average Model Error (%)", IntegerWorkloads(), PaperTable3)
+}
+
+// Table4 regenerates "Floating-Point Average Model Error (%)".
+func (r *Runner) Table4() (*Table, error) {
+	return r.errorTable("Table 4: Floating-Point Average Model Error (%)", FPWorkloads(), PaperTable4)
+}

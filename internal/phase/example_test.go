@@ -1,0 +1,25 @@
+package phase_test
+
+import (
+	"fmt"
+
+	"trickledown/internal/phase"
+	"trickledown/internal/power"
+)
+
+// Detect segments a power series into phases: a warehouse-ramp staircase
+// becomes one phase per step.
+func ExampleDetect() {
+	var series []power.Reading
+	for _, level := range []float64{150, 150, 150, 190, 190, 190, 240, 240} {
+		series = append(series, power.Reading{level, 0, 0, 0, 0})
+	}
+	phases, _ := phase.Detect(series, 10)
+	for _, p := range phases {
+		fmt.Println(p)
+	}
+	// Output:
+	// [0..2] 150.0W over 3 samples
+	// [3..5] 190.0W over 3 samples
+	// [6..7] 240.0W over 2 samples
+}

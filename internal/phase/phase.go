@@ -1,0 +1,130 @@
+// Package phase detects power phases in estimated (or measured) power
+// series — the paper's Section 2.4 context: "for the purpose of
+// detecting power phases, Isci compares ... control-flow metrics to
+// on-chip performance counters [and] finds that performance counter
+// metrics have a lower error rate", and phase boundaries are where
+// performance-insensitive adaptation opportunities live.
+//
+// The detector is an online mean-tracking change detector: a phase is a
+// maximal run of samples within a threshold band of its running mean.
+// It deliberately consumes only the per-second power readings the
+// trickle-down models produce, so it works on machines with no sensors.
+package phase
+
+import (
+	"errors"
+	"fmt"
+
+	"trickledown/internal/power"
+)
+
+// ErrThreshold is returned for a non-positive detection threshold.
+var ErrThreshold = errors.New("phase: threshold must be positive")
+
+// Phase is one detected power phase over [Start, End] sample indices.
+type Phase struct {
+	Start, End int
+	// Mean is the phase's average total power.
+	Mean float64
+	// PerSub is the phase's average per-subsystem power.
+	PerSub power.Reading
+	// Samples is End-Start+1.
+	Samples int
+}
+
+func (p Phase) String() string {
+	return fmt.Sprintf("[%d..%d] %.1fW over %d samples", p.Start, p.End, p.Mean, p.Samples)
+}
+
+// Detector accumulates readings and emits phases online.
+type Detector struct {
+	threshold float64
+	idx       int
+	open      bool
+	cur       Phase
+}
+
+// NewDetector returns a detector; a new phase opens whenever a sample
+// departs from the running phase mean by more than threshold Watts.
+func NewDetector(thresholdWatts float64) (*Detector, error) {
+	if thresholdWatts <= 0 {
+		return nil, ErrThreshold
+	}
+	return &Detector{threshold: thresholdWatts}, nil
+}
+
+// Observe feeds the next per-second reading. When the sample breaks the
+// current phase, the completed phase is returned (otherwise nil).
+func (d *Detector) Observe(r power.Reading) *Phase {
+	total := r.Total()
+	idx := d.idx
+	d.idx++
+	if !d.open {
+		d.cur = Phase{Start: idx, End: idx, Mean: total, PerSub: r, Samples: 1}
+		d.open = true
+		return nil
+	}
+	if abs(total-d.cur.Mean) > d.threshold {
+		done := d.cur
+		d.cur = Phase{Start: idx, End: idx, Mean: total, PerSub: r, Samples: 1}
+		return &done
+	}
+	d.cur.End = idx
+	d.cur.Samples++
+	n := float64(d.cur.Samples)
+	d.cur.Mean += (total - d.cur.Mean) / n
+	for i := range d.cur.PerSub {
+		d.cur.PerSub[i] += (r[i] - d.cur.PerSub[i]) / n
+	}
+	return nil
+}
+
+// Flush closes and returns the phase in progress, if any.
+func (d *Detector) Flush() *Phase {
+	if !d.open {
+		return nil
+	}
+	d.open = false
+	done := d.cur
+	return &done
+}
+
+// Detect runs the detector over a whole series.
+func Detect(series []power.Reading, thresholdWatts float64) ([]Phase, error) {
+	d, err := NewDetector(thresholdWatts)
+	if err != nil {
+		return nil, err
+	}
+	var out []Phase
+	for _, r := range series {
+		if p := d.Observe(r); p != nil {
+			out = append(out, *p)
+		}
+	}
+	if p := d.Flush(); p != nil {
+		out = append(out, *p)
+	}
+	return out, nil
+}
+
+// DominantShift names the subsystem whose mean power moved most between
+// two phases — the "what changed" a phase-aware policy keys on.
+func DominantShift(prev, cur Phase) (power.Subsystem, float64) {
+	best := power.SubCPU
+	var bestAbs float64
+	for _, s := range power.Subsystems() {
+		d := abs(cur.PerSub[s] - prev.PerSub[s])
+		if d > bestAbs {
+			bestAbs = d
+			best = s
+		}
+	}
+	return best, cur.PerSub[best] - prev.PerSub[best]
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

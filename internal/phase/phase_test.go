@@ -1,0 +1,191 @@
+package phase
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"trickledown/internal/power"
+	"trickledown/internal/sim"
+)
+
+// flat builds a reading whose total is w, all on the CPU rail.
+func flat(w float64) power.Reading {
+	return power.Reading{w, 0, 0, 0, 0}
+}
+
+func TestStaircaseDetection(t *testing.T) {
+	var series []power.Reading
+	levels := []float64{100, 140, 180, 120}
+	for _, l := range levels {
+		for i := 0; i < 20; i++ {
+			series = append(series, flat(l))
+		}
+	}
+	phases, err := Detect(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != len(levels) {
+		t.Fatalf("detected %d phases, want %d: %v", len(phases), len(levels), phases)
+	}
+	for i, p := range phases {
+		if math.Abs(p.Mean-levels[i]) > 0.5 {
+			t.Errorf("phase %d mean = %v, want %v", i, p.Mean, levels[i])
+		}
+		if p.Samples != 20 {
+			t.Errorf("phase %d has %d samples", i, p.Samples)
+		}
+	}
+	// Boundaries are contiguous and ordered.
+	for i := 1; i < len(phases); i++ {
+		if phases[i].Start != phases[i-1].End+1 {
+			t.Errorf("gap between phase %d and %d", i-1, i)
+		}
+	}
+}
+
+func TestSinglePhase(t *testing.T) {
+	series := make([]power.Reading, 50)
+	for i := range series {
+		series[i] = flat(200)
+	}
+	phases, err := Detect(series, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 || phases[0].Samples != 50 {
+		t.Fatalf("phases = %v", phases)
+	}
+}
+
+func TestNoiseWithinThresholdIsOnePhase(t *testing.T) {
+	rng := sim.NewRNG(1)
+	series := make([]power.Reading, 200)
+	for i := range series {
+		series[i] = flat(150 + rng.Norm(0, 1.5))
+	}
+	phases, err := Detect(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Fatalf("noisy steady state split into %d phases", len(phases))
+	}
+}
+
+func TestEmptySeries(t *testing.T) {
+	phases, err := Detect(nil, 10)
+	if err != nil || len(phases) != 0 {
+		t.Fatalf("empty series: %v, %v", phases, err)
+	}
+}
+
+func TestBadThreshold(t *testing.T) {
+	if _, err := Detect(nil, 0); !errors.Is(err, ErrThreshold) {
+		t.Error("zero threshold accepted")
+	}
+	if _, err := NewDetector(-1); !errors.Is(err, ErrThreshold) {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestObserveFlushProtocol(t *testing.T) {
+	d, err := NewDetector(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Flush() != nil {
+		t.Error("flush before any observation returned a phase")
+	}
+	if p := d.Observe(flat(100)); p != nil {
+		t.Error("first observation closed a phase")
+	}
+	if p := d.Observe(flat(101)); p != nil {
+		t.Error("in-band observation closed a phase")
+	}
+	p := d.Observe(flat(150))
+	if p == nil || p.Samples != 2 {
+		t.Fatalf("break did not close the right phase: %+v", p)
+	}
+	last := d.Flush()
+	if last == nil || last.Mean != 150 || last.Samples != 1 {
+		t.Fatalf("flush = %+v", last)
+	}
+	if d.Flush() != nil {
+		t.Error("double flush returned a phase")
+	}
+}
+
+func TestPerSubsystemMeans(t *testing.T) {
+	series := []power.Reading{
+		{100, 20, 30, 33, 21},
+		{102, 20, 32, 33, 21},
+	}
+	phases, err := Detect(series, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 {
+		t.Fatal("want one phase")
+	}
+	if got := phases[0].PerSub[power.SubCPU]; math.Abs(got-101) > 1e-9 {
+		t.Errorf("CPU mean = %v", got)
+	}
+	if got := phases[0].PerSub[power.SubMemory]; math.Abs(got-31) > 1e-9 {
+		t.Errorf("memory mean = %v", got)
+	}
+}
+
+func TestDominantShift(t *testing.T) {
+	a := Phase{PerSub: power.Reading{100, 20, 30, 33, 21}}
+	b := Phase{PerSub: power.Reading{105, 20, 45, 33, 21}}
+	s, delta := DominantShift(a, b)
+	if s != power.SubMemory || math.Abs(delta-15) > 1e-9 {
+		t.Errorf("DominantShift = %v %v", s, delta)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	p := Phase{Start: 3, End: 9, Mean: 123.4, Samples: 7}
+	if s := p.String(); !strings.Contains(s, "[3..9]") || !strings.Contains(s, "123.4") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+// Property: phases partition the series exactly (no gaps, no overlaps,
+// total samples conserved) for any input.
+func TestPhasesPartitionSeries(t *testing.T) {
+	f := func(raw []uint16, thrRaw uint8) bool {
+		threshold := float64(thrRaw%50) + 1
+		series := make([]power.Reading, len(raw))
+		for i, v := range raw {
+			series[i] = flat(float64(v % 300))
+		}
+		phases, err := Detect(series, threshold)
+		if err != nil {
+			return false
+		}
+		if len(series) == 0 {
+			return len(phases) == 0
+		}
+		total := 0
+		next := 0
+		for _, p := range phases {
+			if p.Start != next || p.End < p.Start {
+				return false
+			}
+			if p.Samples != p.End-p.Start+1 {
+				return false
+			}
+			total += p.Samples
+			next = p.End + 1
+		}
+		return total == len(series)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"trickledown/internal/chipset"
+	"trickledown/internal/cpu"
+	"trickledown/internal/disk"
+	"trickledown/internal/iobus"
+	"trickledown/internal/mem"
+)
+
+func TestServerProfileMatchesPackageFunctions(t *testing.T) {
+	p := ServerProfile()
+	cs := cpu.SliceStats{Cycles: 2.8e6, ActiveFrac: 1, FetchedUops: 3e6, SpecUops: 1e6, L2Accesses: 2e6, FreqScale: 0.8}
+	if a, b := p.CPU(cs), CPU(cs); a != b {
+		t.Errorf("CPU: profile %v != package %v", a, b)
+	}
+	ms := mem.Stats{Activations: 20000, ReadBursts: 15000, WriteBursts: 9000, PrechargeFrac: 0.1}
+	if a, b := p.Memory(ms, 0.001), Memory(ms, 0.001); a != b {
+		t.Errorf("Memory: %v != %v", a, b)
+	}
+	ch := chipset.Stats{FSBUtil: 0.4, DomainDrift: 0.1, DomainBias: 1.2}
+	if a, b := p.Chipset(ch), Chipset(ch); a != b {
+		t.Errorf("Chipset: %v != %v", a, b)
+	}
+	dm := iobus.DMAStats{Bytes: 90e3}
+	if a, b := p.IO(dm, 0.4, 0.001), IO(dm, 0.4, 0.001); a != b {
+		t.Errorf("IO: %v != %v", a, b)
+	}
+	dsk := disk.Stats{SeekSec: 0.0005, XferSec: 0.001, StandbySec: 0.0002, SpinupSec: 0.0001}
+	if a, b := p.Disk(dsk, 0.001, 2), Disk(dsk, 0.001, 2); a != b {
+		t.Errorf("Disk: %v != %v", a, b)
+	}
+}
+
+func TestBladeProfileIsLowerPower(t *testing.T) {
+	server := ServerProfile()
+	blade := BladeProfile()
+	if err := blade.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything static should be cheaper.
+	if blade.CPUHalt >= server.CPUHalt || blade.MemIdle >= server.MemIdle ||
+		blade.ChipsetBase >= server.ChipsetBase || blade.IOBase >= server.IOBase {
+		t.Error("blade static floors not below server")
+	}
+	cs := cpu.SliceStats{Cycles: 2.8e6, ActiveFrac: 1, FetchedUops: 4e6, SpecUops: 1e6, L2Accesses: 3e6}
+	if blade.CPU(cs) >= server.CPU(cs) {
+		t.Error("blade CPU power not below server at equal activity")
+	}
+	if blade.DiskIdle(1) >= server.DiskIdle(1) {
+		t.Error("blade disk floor not below server")
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	p := ServerProfile()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.MemIdle = 0
+	if p.Validate() == nil {
+		t.Error("zero MemIdle accepted")
+	}
+	p = ServerProfile()
+	p.CPUHalt = -1
+	if p.Validate() == nil {
+		t.Error("negative CPUHalt accepted")
+	}
+}
+
+func TestProfileZeroSliceFloors(t *testing.T) {
+	p := BladeProfile()
+	if got := p.Memory(mem.Stats{}, 0); got != p.MemIdle {
+		t.Errorf("zero-slice Memory = %v", got)
+	}
+	if got := p.IO(iobus.DMAStats{}, 1, 0); got != p.IOBase {
+		t.Errorf("zero-slice IO = %v", got)
+	}
+	if got := p.Disk(disk.Stats{}, 0, 3); got != p.DiskIdle(3) {
+		t.Errorf("zero-slice Disk = %v", got)
+	}
+	if got := p.CPU(cpu.SliceStats{}); math.Abs(got-p.CPUHalt) > 1e-12 {
+		t.Errorf("zero-cycle CPU = %v", got)
+	}
+}

@@ -1,0 +1,49 @@
+package regress
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzOLSRobust checks OLS never panics and never returns non-finite
+// coefficients for arbitrary (bounded) inputs.
+func FuzzOLSRobust(f *testing.F) {
+	f.Add(int64(1), 20, 0.5)
+	f.Add(int64(7), 5, -3.0)
+	f.Add(int64(42), 100, 1e6)
+	f.Fuzz(func(t *testing.T, seed int64, n int, scale float64) {
+		if n < 1 || n > 500 {
+			return
+		}
+		if math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return
+		}
+		if scale > 1e9 || scale < -1e9 {
+			return
+		}
+		// Cheap deterministic generator.
+		state := uint64(seed)
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state>>11) / (1 << 53)
+		}
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = []float64{1, next() * scale, next()}
+			y[i] = next()*10 + scale*x[i][1]*0.001
+		}
+		fit, err := OLS(x, y)
+		if err != nil {
+			return // singular/dimension errors are fine
+		}
+		for _, c := range fit.Coef {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("non-finite coefficient %v (seed %d, n %d, scale %v)", c, seed, n, scale)
+			}
+		}
+		if math.IsNaN(fit.RMSE) || fit.RMSE < 0 {
+			t.Fatalf("bad RMSE %v", fit.RMSE)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trickledown/internal/experiments"
+)
+
+func TestGenerateSmallScale(t *testing.T) {
+	opt := Options{Scale: 0.12, Seed: 100, TrainSeed: 10}
+	g := NewGenerator(opt)
+	var sections []string
+	g.Progress = func(s string) { sections = append(sections, s) }
+	var buf bytes.Buffer
+	if err := g.Generate(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# Experiments: paper vs. this reproduction",
+		"Table 1: Subsystem Average Power",
+		"Table 2: Subsystem Power Standard Deviation",
+		"Table 3: Integer Average Model Error",
+		"Table 4: Floating-Point Average Model Error",
+		"Figures 2-7",
+		"Figure 4: prefetch vs. non-prefetch",
+		"Fitted model equations",
+		"read/write-mix memory model",
+		"Shape checklist",
+		"Known divergences",
+		"| idle | ours |",
+		"| diskload | ours |",
+		"cpu (Eq.1)",
+		"mem-bus (Eq.3)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if len(sections) < 10 {
+		t.Errorf("progress reported only %d sections", len(sections))
+	}
+	// Every paper row carries a paired paper line.
+	if strings.Count(out, "| paper |") < 24 { // 12 workloads x 2 characterization tables
+		t.Errorf("too few paper rows: %d", strings.Count(out, "| paper |"))
+	}
+}
+
+func TestZeroScaleDefaults(t *testing.T) {
+	g := NewGenerator(Options{})
+	if g.opt.Scale != 1 {
+		t.Errorf("Scale defaulted to %v", g.opt.Scale)
+	}
+	if DefaultOptions().Scale != 1 {
+		t.Error("DefaultOptions scale != 1")
+	}
+}
+
+func TestMarkdownTable(t *testing.T) {
+	tbl := &experiments.Table{
+		Title:   "Demo",
+		Columns: []string{"A", "B"},
+		Rows: []experiments.TableRow{
+			{Workload: "x", Ours: []float64{1, 2}, Paper: []float64{1.5, 2.5}},
+			{Workload: "y", Ours: []float64{3, 4}},
+		},
+	}
+	var b strings.Builder
+	MarkdownTable(&b, tbl, "widgets")
+	out := b.String()
+	for _, want := range []string{
+		"## Demo", "| workload | series | A | B |", "| x | ours | 1.00 | 2.00 |",
+		"|  | paper | 1.50 | 2.50 |", "| y | ours | 3.00 | 4.00 |", "Values in widgets.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// The y row has no paper values and therefore no paper line after it.
+	if strings.Count(out, "| paper |") != 1 {
+		t.Errorf("paper rows = %d, want 1", strings.Count(out, "| paper |"))
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import "time"
+
+// Component is a piece of simulated hardware or software that is stepped
+// once per slice. Components are stepped in registration order, which the
+// assembling package (internal/machine) uses to encode data-flow order:
+// workload demand first, then CPUs, then the I/O path, then power and
+// measurement.
+type Component interface {
+	// Step advances the component by one slice. The clock has not yet
+	// been ticked for the slice being computed: Clock.Seconds() is the
+	// time at the start of the slice.
+	Step(c *Clock)
+}
+
+// ComponentFunc adapts a function to the Component interface.
+type ComponentFunc func(c *Clock)
+
+// Step calls f(c).
+func (f ComponentFunc) Step(c *Clock) { f(c) }
+
+// Engine owns the clock and the ordered component list and runs the
+// simulation loop.
+type Engine struct {
+	clock      *Clock
+	components []Component
+}
+
+// NewEngine returns an engine driving the given clock.
+func NewEngine(clock *Clock) *Engine {
+	return &Engine{clock: clock}
+}
+
+// Clock returns the engine's clock.
+func (e *Engine) Clock() *Clock { return e.clock }
+
+// Register appends components to the step order.
+func (e *Engine) Register(cs ...Component) {
+	e.components = append(e.components, cs...)
+}
+
+// RunSlices executes n simulation slices.
+func (e *Engine) RunSlices(n int64) {
+	for i := int64(0); i < n; i++ {
+		for _, c := range e.components {
+			c.Step(e.clock)
+		}
+		e.clock.Tick()
+	}
+}
+
+// RunFor executes simulation slices until the clock has advanced by d
+// (rounded down to whole slices).
+func (e *Engine) RunFor(d time.Duration) {
+	e.RunSlices(int64(d / e.clock.Slice()))
+}

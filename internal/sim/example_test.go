@@ -1,0 +1,19 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"trickledown/internal/sim"
+)
+
+// Every simulation draws randomness from seeded SplitMix64 streams, so
+// whole-server runs replay bit-for-bit.
+func ExampleNewRNG() {
+	a := sim.NewRNG(42)
+	b := sim.NewRNG(42)
+	fmt.Println(a.Uint64() == b.Uint64())
+	fmt.Println(a.Intn(10) == b.Intn(10))
+	// Output:
+	// true
+	// true
+}

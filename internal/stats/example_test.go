@@ -1,0 +1,27 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"trickledown/internal/stats"
+)
+
+// The paper's Equation 6: mean absolute relative error between modeled
+// and measured power, in percent.
+func ExampleAverageError() {
+	measured := []float64{40.0, 20.0, 30.0}
+	modeled := []float64{42.0, 19.0, 30.0}
+	e, _ := stats.AverageError(modeled, measured)
+	fmt.Printf("%.2f%%\n", e)
+	// Output: 3.33%
+}
+
+// Disk errors are computed after removing the idle DC floor, as the
+// paper does for its 21.6 W disk subsystem.
+func ExampleAverageErrorOffset() {
+	measured := []float64{21.8, 22.0}
+	modeled := []float64{21.9, 22.2}
+	e, _ := stats.AverageErrorOffset(modeled, measured, 21.6)
+	fmt.Printf("%.0f%%\n", e)
+	// Output: 50%
+}

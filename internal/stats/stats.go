@@ -1,0 +1,129 @@
+// Package stats provides the summary statistics the paper reports:
+// per-workload power means and standard deviations (Tables 1 and 2) and
+// the Equation 6 average relative error used throughout the validation
+// (Tables 3 and 4).
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrEmpty is returned by functions that cannot summarize zero samples.
+var ErrEmpty = errors.New("stats: no samples")
+
+// ErrLengthMismatch is returned when paired series differ in length.
+var ErrLengthMismatch = errors.New("stats: series length mismatch")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs, matching the
+// paper's Table 2 (power variation of full traces, not sample estimates).
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// MinMax returns the smallest and largest values in xs.
+func MinMax(xs []float64) (min, max float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max, nil
+}
+
+// AverageError implements the paper's Equation 6:
+//
+//	AvgErr = (1/N) Σ |modeled_i − measured_i| / measured_i × 100%
+//
+// Samples whose measured value is zero are skipped (the relative error is
+// undefined there); if every sample is skipped it returns ErrEmpty.
+func AverageError(modeled, measured []float64) (float64, error) {
+	if len(modeled) != len(measured) {
+		return 0, ErrLengthMismatch
+	}
+	if len(modeled) == 0 {
+		return 0, ErrEmpty
+	}
+	sum, n := 0.0, 0
+	for i := range modeled {
+		if measured[i] == 0 {
+			continue
+		}
+		sum += math.Abs(modeled[i]-measured[i]) / math.Abs(measured[i])
+		n++
+	}
+	if n == 0 {
+		return 0, ErrEmpty
+	}
+	return sum / float64(n) * 100, nil
+}
+
+// AverageErrorOffset is AverageError computed after subtracting a DC
+// offset from both series. The paper uses this for the disk model ("this
+// error is calculated by first subtracting the 21.6W of idle (DC) disk
+// power consumption") and notes the I/O model error both ways.
+func AverageErrorOffset(modeled, measured []float64, dc float64) (float64, error) {
+	if len(modeled) != len(measured) {
+		return 0, ErrLengthMismatch
+	}
+	m := make([]float64, len(modeled))
+	s := make([]float64, len(measured))
+	for i := range modeled {
+		m[i] = modeled[i] - dc
+		s[i] = measured[i] - dc
+	}
+	return AverageError(m, s)
+}
+
+// Summary bundles the per-series numbers the tables report.
+type Summary struct {
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	N      int
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	min, max, _ := MinMax(xs)
+	return Summary{
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    min,
+		Max:    max,
+		N:      len(xs),
+	}, nil
+}

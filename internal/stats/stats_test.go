@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	// Population stddev of {2,4,4,4,5,5,7,9} is exactly 2.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := StdDev(nil); got != 0 {
+		t.Errorf("StdDev(nil) = %v", got)
+	}
+	if got := StdDev([]float64{5}); got != 0 {
+		t.Errorf("StdDev single = %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil || min != -1 || max != 7 {
+		t.Errorf("MinMax = %v %v %v", min, max, err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("MinMax(nil) must return ErrEmpty")
+	}
+}
+
+func TestAverageErrorExact(t *testing.T) {
+	// 10% high everywhere -> 10% error.
+	measured := []float64{10, 20, 30}
+	modeled := []float64{11, 22, 33}
+	got, err := AverageError(modeled, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("AverageError = %v, want 10", got)
+	}
+}
+
+func TestAverageErrorPerfect(t *testing.T) {
+	m := []float64{5, 6, 7}
+	got, err := AverageError(m, m)
+	if err != nil || got != 0 {
+		t.Errorf("AverageError identical = %v, %v", got, err)
+	}
+}
+
+func TestAverageErrorSkipsZeroMeasured(t *testing.T) {
+	got, err := AverageError([]float64{5, 11}, []float64{0, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("AverageError = %v, want 10 (zero-measured sample skipped)", got)
+	}
+	if _, err := AverageError([]float64{5}, []float64{0}); !errors.Is(err, ErrEmpty) {
+		t.Error("all-zero measured must return ErrEmpty")
+	}
+}
+
+func TestAverageErrorErrors(t *testing.T) {
+	if _, err := AverageError([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("length mismatch must error")
+	}
+	if _, err := AverageError(nil, nil); !errors.Is(err, ErrEmpty) {
+		t.Error("empty input must error")
+	}
+}
+
+func TestAverageErrorOffset(t *testing.T) {
+	// Disk-style: large DC offset of 21.6, small dynamic part. Modeled is
+	// exact on DC but 50% high on the dynamic part.
+	measured := []float64{21.8, 22.0}
+	modeled := []float64{21.9, 22.2}
+	got, err := AverageErrorOffset(modeled, measured, 21.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-50) > 1e-9 {
+		t.Errorf("AverageErrorOffset = %v, want 50", got)
+	}
+	// Without the offset the same series looks nearly perfect.
+	raw, _ := AverageError(modeled, measured)
+	if raw > 1 {
+		t.Errorf("raw error = %v, expected <1%%", raw)
+	}
+	if _, err := AverageErrorOffset([]float64{1}, []float64{1, 2}, 0); !errors.Is(err, ErrLengthMismatch) {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.N != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Summarize(nil) must error")
+	}
+}
+
+// Property: AverageError is zero iff the series agree on every sample
+// with nonzero measured value, and is always non-negative.
+func TestAverageErrorProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		measured := make([]float64, len(vals))
+		for i, v := range vals {
+			measured[i] = 1 + math.Abs(math.Mod(v, 100)) // strictly positive
+		}
+		e, err := AverageError(measured, measured)
+		if err != nil || e != 0 {
+			return false
+		}
+		perturbed := make([]float64, len(measured))
+		copy(perturbed, measured)
+		perturbed[0] *= 2
+		e2, err := AverageError(perturbed, measured)
+		return err == nil && e2 > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: StdDev is translation-invariant and scales with |a|.
+func TestStdDevProperties(t *testing.T) {
+	f := func(vals []float64, shiftRaw float64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		xs := make([]float64, 0, len(vals))
+		for _, v := range vals {
+			m := math.Mod(v, 1000)
+			if math.IsNaN(m) || math.IsInf(m, 0) {
+				m = 0
+			}
+			xs = append(xs, m)
+		}
+		shift := math.Mod(shiftRaw, 100)
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			shift = 0
+		}
+		base := StdDev(xs)
+		shifted := make([]float64, len(xs))
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+			scaled[i] = 3 * x
+		}
+		tol := 1e-6 * (1 + base)
+		return math.Abs(StdDev(shifted)-base) < tol &&
+			math.Abs(StdDev(scaled)-3*base) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package trace records named time series produced by experiments (the
+// measured and modeled power traces behind the paper's figures) and
+// renders them as CSV or as ASCII plots for terminal inspection.
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ErrNoSeries is returned when rendering a trace with no data.
+var ErrNoSeries = errors.New("trace: no series")
+
+// Series is one named sequence of samples at a fixed 1 Hz rate (the
+// paper's sampling rate), indexed by second.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Trace is a set of series sharing a time base.
+type Trace struct {
+	// Title names the experiment, e.g. "Figure 5: Memory Power (Bus) - mcf".
+	Title  string
+	series []*Series
+}
+
+// New returns an empty trace with the given title.
+func New(title string) *Trace {
+	return &Trace{Title: title}
+}
+
+// Add creates (or returns the existing) series with the given name.
+func (t *Trace) Add(name string) *Series {
+	for _, s := range t.series {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Series{Name: name}
+	t.series = append(t.series, s)
+	return s
+}
+
+// Append appends one value to the named series, creating it if needed.
+func (t *Trace) Append(name string, v float64) {
+	s := t.Add(name)
+	s.Values = append(s.Values, v)
+}
+
+// Series returns the named series, or nil if absent.
+func (t *Trace) Series(name string) *Series {
+	for _, s := range t.series {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Names returns the series names in insertion order.
+func (t *Trace) Names() []string {
+	out := make([]string, len(t.series))
+	for i, s := range t.series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Len returns the length of the longest series.
+func (t *Trace) Len() int {
+	n := 0
+	for _, s := range t.series {
+		if len(s.Values) > n {
+			n = len(s.Values)
+		}
+	}
+	return n
+}
+
+// WriteCSV writes the trace as CSV with a leading seconds column. Short
+// series are padded with empty cells.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if len(t.series) == 0 {
+		return ErrNoSeries
+	}
+	cols := make([]string, 0, len(t.series)+1)
+	cols = append(cols, "seconds")
+	for _, s := range t.series {
+		cols = append(cols, csvEscape(s.Name))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	n := t.Len()
+	row := make([]string, len(t.series)+1)
+	for i := 0; i < n; i++ {
+		row[0] = fmt.Sprintf("%d", i+1)
+		for j, s := range t.series {
+			if i < len(s.Values) {
+				row[j+1] = fmt.Sprintf("%.4f", s.Values[i])
+			} else {
+				row[j+1] = ""
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// PlotOptions controls ASCII rendering.
+type PlotOptions struct {
+	// Width is the plot width in columns (default 100).
+	Width int
+	// Height is the plot height in rows (default 20).
+	Height int
+}
+
+// WriteASCII renders every series of the trace into one ASCII chart, one
+// glyph per series, time on the X axis, value on the Y axis. It is meant
+// for eyeballing the figures in a terminal, like the paper's
+// measured-vs-modeled plots.
+func (t *Trace) WriteASCII(w io.Writer, opt PlotOptions) error {
+	if len(t.series) == 0 || t.Len() == 0 {
+		return ErrNoSeries
+	}
+	width := opt.Width
+	if width <= 0 {
+		width = 100
+	}
+	height := opt.Height
+	if height <= 0 {
+		height = 20
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range t.series {
+		for _, v := range s.Values {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	n := t.Len()
+	for si, s := range t.series {
+		g := glyphs[si%len(glyphs)]
+		for i, v := range s.Values {
+			col := 0
+			if n > 1 {
+				col = i * (width - 1) / (n - 1)
+			}
+			frac := (v - lo) / (hi - lo)
+			row := height - 1 - int(frac*float64(height-1)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = g
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s\n", t.Title); err != nil {
+		return err
+	}
+	legend := make([]string, len(t.series))
+	for i, s := range t.series {
+		legend[i] = fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], s.Name)
+	}
+	if _, err := fmt.Fprintf(w, "[%s]  y:[%.1f, %.1f]W  x:[1, %d]s\n", strings.Join(legend, " "), lo, hi, n); err != nil {
+		return err
+	}
+	for _, row := range grid {
+		if _, err := fmt.Fprintf(w, "|%s|\n", row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

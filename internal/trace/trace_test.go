@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestAddAndAppend(t *testing.T) {
+	tr := New("test")
+	tr.Append("measured", 1)
+	tr.Append("measured", 2)
+	tr.Append("modeled", 3)
+	if got := tr.Series("measured"); got == nil || len(got.Values) != 2 {
+		t.Fatalf("measured series = %+v", got)
+	}
+	if tr.Series("missing") != nil {
+		t.Error("Series(missing) should be nil")
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+	names := tr.Names()
+	if len(names) != 2 || names[0] != "measured" || names[1] != "modeled" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestAddIdempotent(t *testing.T) {
+	tr := New("test")
+	a := tr.Add("s")
+	b := tr.Add("s")
+	if a != b {
+		t.Error("Add created a duplicate series")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New("test")
+	tr.Append("a", 1.5)
+	tr.Append("a", 2.5)
+	tr.Append("b", 10)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != "seconds,a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,1.5000,10.0000" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Short series padded with empty cell.
+	if lines[2] != "2,2.5000," {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteCSVEscaping(t *testing.T) {
+	tr := New("test")
+	tr.Append(`weird,"name`, 1)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"weird,""name"`) {
+		t.Errorf("CSV header not escaped: %q", buf.String())
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New("x").WriteCSV(&buf); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("err = %v, want ErrNoSeries", err)
+	}
+}
+
+func TestWriteASCII(t *testing.T) {
+	tr := New("Figure X")
+	for i := 0; i < 50; i++ {
+		tr.Append("measured", float64(i))
+		tr.Append("modeled", float64(i)+1)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteASCII(&buf, PlotOptions{Width: 40, Height: 10}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*=measured") || !strings.Contains(out, "+=modeled") {
+		t.Errorf("missing legend: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + legend + 10 rows
+	if len(lines) != 12 {
+		t.Errorf("line count = %d", len(lines))
+	}
+	for _, l := range lines[2:] {
+		if len(l) != 42 { // | + 40 + |
+			t.Errorf("row width = %d: %q", len(l), l)
+		}
+	}
+}
+
+func TestWriteASCIIConstantSeries(t *testing.T) {
+	tr := New("flat")
+	tr.Append("a", 5)
+	tr.Append("a", 5)
+	var buf bytes.Buffer
+	if err := tr.WriteASCII(&buf, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "*") {
+		t.Error("constant series not plotted")
+	}
+}
+
+func TestWriteASCIIEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New("x").WriteASCII(&buf, PlotOptions{}); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("err = %v, want ErrNoSeries", err)
+	}
+}
+
+func TestWriteASCIISingleSample(t *testing.T) {
+	tr := New("one")
+	tr.Append("a", 3)
+	var buf bytes.Buffer
+	if err := tr.WriteASCII(&buf, PlotOptions{Width: 10, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+}
