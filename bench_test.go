@@ -7,6 +7,7 @@ import (
 
 	"trickledown/internal/align"
 
+	"trickledown/internal/cluster"
 	"trickledown/internal/core"
 	"trickledown/internal/disk"
 	"trickledown/internal/experiments"
@@ -249,6 +250,46 @@ func BenchmarkSimulationSecond(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		srv.Run(1)
+	}
+}
+
+// BenchmarkCluster8Nodes measures parallel cluster stepping: an 8-node
+// rack advanced 2 simulated seconds per iteration at several worker
+// counts. Each node is an independent seeded simulation, so on a
+// multi-core host throughput scales near-linearly until workers reach
+// the core count (expect ≥2x at 4 workers); results are bit-for-bit
+// identical at every worker count.
+func BenchmarkCluster8Nodes(b *testing.B) {
+	r := runner()
+	est, err := r.Estimator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c, err := cluster.New(est)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.SetWorkers(workers)
+			for i := 0; i < 8; i++ {
+				if _, err := c.AddHomogeneous(fmt.Sprintf("n%d", i), "gcc", uint64(200+i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Run(2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			_, total, err := c.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(total, "rack_W")
+		})
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tdfigures [-scale 1.0] [-seed 100] [-trainseed 10] [-out DIR] [-figure 2..7|all]
+//	tdfigures [-scale 1.0] [-seed 100] [-trainseed 10] [-out DIR] [-figure 2..7|all] [-workers N]
 package main
 
 import (
@@ -27,10 +27,11 @@ func main() {
 	trainSeed := flag.Uint64("trainseed", 10, "seed for training runs")
 	outDir := flag.String("out", "", "directory for CSV output (omit to skip)")
 	figure := flag.String("figure", "all", "which figure to produce: 2, 3, 4, 5, 6, 7 or all")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	r := experiments.NewRunner(experiments.Options{
-		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale,
+		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale, Workers: *workers,
 	})
 
 	emit := func(name string, tr *trace.Trace, avgErr, paperErr float64) error {

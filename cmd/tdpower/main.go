@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	tdpower [-workload gcc] [-seconds 120] [-seed 7] [-scale 0.5] [-percpu] [-quiet]
+//	tdpower [-workload gcc] [-seconds 120] [-seed 7] [-scale 0.5] [-percpu] [-quiet] [-workers N]
 //	tdpower -placement "gcc:0,gcc:1:30,dbt-2:2"   # heterogeneous placement wl:thread[:start]
 //	tdpower -record trace.csv ...     # save the aligned power+counter log
 //	tdpower -replay trace.csv ...     # analyze a recorded log instead of simulating
@@ -46,6 +46,7 @@ func main() {
 	placement := flag.String("placement", "", `heterogeneous placement: comma-separated "workload:thread[:startSec]" (overrides -workload)`)
 	record := flag.String("record", "", "write the aligned power+counter log to this CSV file")
 	replay := flag.String("replay", "", "analyze a recorded CSV log instead of simulating")
+	workers := flag.Int("workers", 0, "max concurrent training simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
@@ -54,7 +55,7 @@ func main() {
 	}
 
 	fmt.Printf("training models (scale %.2f)...\n", *scale)
-	runner := experiments.NewRunner(experiments.Options{Seed: 100, TrainSeed: 10, Scale: *scale})
+	runner := experiments.NewRunner(experiments.Options{Seed: 100, TrainSeed: 10, Scale: *scale, Workers: *workers})
 	est, err := runner.Estimator()
 	if err != nil {
 		log.Fatal(err)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	tdtables [-scale 1.0] [-seed 100] [-trainseed 10] [-table 1|2|3|4|eq|all]
+//	tdtables [-scale 1.0] [-seed 100] [-trainseed 10] [-table 1|2|3|4|eq|all] [-workers N]
 package main
 
 import (
@@ -23,10 +23,11 @@ func main() {
 	seed := flag.Uint64("seed", 100, "seed for validation runs")
 	trainSeed := flag.Uint64("trainseed", 10, "seed for training runs")
 	table := flag.String("table", "all", "which table to produce: 1, 2, 3, 4, eq or all")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	r := experiments.NewRunner(experiments.Options{
-		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale,
+		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale, Workers: *workers,
 	})
 
 	type job struct {

@@ -1,18 +1,22 @@
 // Datacenter: the paper's ensemble-management motivation (Section 1 and
 // the Rajamani/Ranganathan citations), built on internal/cluster. A rack
 // of simulated servers runs heterogeneous workloads; a manager that has
-// NO power sensors estimates each node's draw from performance counters,
-// checks the rack against a power budget, plans which nodes to
-// consolidate away, and then physically verifies the plan by
-// co-scheduling the evicted work onto a surviving node
-// (machine.NewMixed) and measuring the combined box.
+// NO power sensors estimates each node's draw from performance counters
+// (stepping all nodes in parallel on the cluster's worker pool), checks
+// the rack against a power budget, plans which nodes to consolidate away
+// — largest consumers first, so the budget is met with the fewest
+// migrations — and then physically verifies the plan by co-scheduling an
+// evicted node's workload onto a surviving node (machine.NewMixed) and
+// measuring the combined box.
 //
 //	go run ./examples/datacenter
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
 
 	"trickledown/internal/cluster"
 	"trickledown/internal/core"
@@ -20,6 +24,13 @@ import (
 )
 
 const rackBudgetWatts = 800
+
+// rackNodes is the fleet: a transaction node, two batch nodes, a Java
+// middle tier, a storage node and an idle spare.
+var rackNodes = []struct{ name, wl string }{
+	{"db01", "dbt-2"}, {"hpc01", "mgrid"}, {"hpc02", "wupwise"},
+	{"app01", "specjbb"}, {"store01", "diskload"}, {"spare01", "idle"},
+}
 
 func main() {
 	log.SetFlags(0)
@@ -47,23 +58,21 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// The rack: a transaction node, two batch nodes, a Java middle tier,
-	// a storage node and an idle spare.
 	rack, err := cluster.New(est)
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, n := range []struct{ name, wl string }{
-		{"db01", "dbt-2"}, {"hpc01", "mgrid"}, {"hpc02", "wupwise"},
-		{"app01", "specjbb"}, {"store01", "diskload"}, {"spare01", "idle"},
-	} {
+	for i, n := range rackNodes {
 		if _, err := rack.AddHomogeneous(n.name, n.wl, uint64(100+i)); err != nil {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\nrack of %d nodes, budget %d W; observing 90s of counters per node\n\n",
-		len(rack.Nodes()), rackBudgetWatts)
-	if err := rack.Run(90); err != nil {
+	fmt.Printf("\nrack of %d nodes, budget %d W; observing 90s of counters per node (%d workers on %d CPUs)\n\n",
+		len(rack.Nodes()), rackBudgetWatts, rack.Workers(), runtime.GOMAXPROCS(0))
+	// RunContext steps every node in parallel on the worker pool; an
+	// operator's monitoring loop would pass a real deadline or shutdown
+	// context here.
+	if err := rack.RunContext(context.Background(), 90); err != nil {
 		log.Fatal(err)
 	}
 
@@ -88,7 +97,8 @@ func main() {
 	}
 	fmt.Printf("sensorless accuracy across the rack: %.2f%%\n\n", acc)
 
-	// Plan against the budget.
+	// Plan against the budget: largest consumers are powered down first,
+	// so the fewest workloads have to move.
 	plan := cluster.PlanConsolidation(snap, rackBudgetWatts)
 	if len(plan.Evict) == 0 {
 		fmt.Printf("estimated rack draw %.0f W is within the %d W budget; no action\n",
@@ -101,23 +111,24 @@ func main() {
 	}
 	fmt.Printf("projected draw after consolidation: %.0f W (fits: %v)\n\n", plan.Projected, plan.Fits)
 
-	// Physically verify: co-schedule the evicted dbt-2 workers onto the
-	// Java node and measure the combined box.
-	fmt.Println("verifying: co-scheduling dbt-2 onto app01 and measuring the combined node...")
+	// Physically verify the first eviction: co-schedule its workload
+	// next to the busiest survivor's and measure the combined box.
+	evicted := plan.Evict[0]
+	host := busiestSurvivor(snap, plan.Evict)
+	fmt.Printf("verifying: co-scheduling %s's work onto %s and measuring the combined node...\n",
+		evicted, host)
+	placements := make([]machine.Placement, 0, 8)
+	for t := 0; t < 4; t++ {
+		placements = append(placements, machine.Placement{Workload: workloadOf(host), Thread: t})
+	}
+	for t := 4; t < 8; t++ {
+		placements = append(placements, machine.Placement{Workload: workloadOf(evicted), Thread: t})
+	}
 	verify, err := cluster.New(est)
 	if err != nil {
 		log.Fatal(err)
 	}
-	combined, err := verify.AddMixed("app01+db01", 500, []machine.Placement{
-		{Workload: "specjbb", Thread: 0},
-		{Workload: "specjbb", Thread: 1},
-		{Workload: "specjbb", Thread: 2},
-		{Workload: "specjbb", Thread: 3},
-		{Workload: "dbt-2", Thread: 4},
-		{Workload: "dbt-2", Thread: 5},
-		{Workload: "dbt-2", Thread: 6},
-		{Workload: "dbt-2", Thread: 7},
-	})
+	combined, err := verify.AddMixed(host+"+"+evicted, 500, placements)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -132,10 +143,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	separate := watts(snap, "app01") + watts(snap, "db01")
+	separate := watts(snap, host) + watts(snap, evicted)
 	fmt.Printf("  consolidated node: estimated %.0f W, measured %.0f W\n", combEst, combMeas)
 	fmt.Printf("  the two separate nodes drew %.0f W — consolidation nets %.0f W (%.0f%%)\n",
 		separate, separate-combMeas, 100*(separate-combMeas)/separate)
+}
+
+// busiestSurvivor returns the highest-draw node not named in evict.
+func busiestSurvivor(snap []cluster.Estimate, evict []string) string {
+	gone := map[string]bool{}
+	for _, name := range evict {
+		gone[name] = true
+	}
+	best, bestW := "", -1.0
+	for _, e := range snap {
+		if !gone[e.Name] && e.Watts > bestW {
+			best, bestW = e.Name, e.Watts
+		}
+	}
+	return best
+}
+
+// workloadOf maps a rack node name back to its workload.
+func workloadOf(name string) string {
+	for _, n := range rackNodes {
+		if n.name == name {
+			return n.wl
+		}
+	}
+	return "idle"
 }
 
 // watts finds a node's estimate in a snapshot.

@@ -8,15 +8,35 @@
 // The manager never reads a node's measured rails; they remain available
 // (Node.MeasuredMean) only so callers can verify decisions the way the
 // paper verifies its models.
+//
+// # Concurrency model
+//
+// Run steps every node in parallel on a bounded worker pool
+// (internal/pool; default runtime.GOMAXPROCS workers, SetWorkers to
+// change). Each node owns an independent seeded machine.Server and its
+// own sample accumulators, so parallel stepping is deterministic: for a
+// fixed set of seeds, Snapshot and VerifyAccuracy return bit-for-bit the
+// same values at any worker count, including 1 (the serial path). Node
+// failures are aggregated — Run reports every failed node, in insertion
+// order, instead of stopping at the first. RunContext adds cooperative
+// cancellation: nodes stop at the next slice boundary and the partial
+// samples folded so far remain valid. Run calls are serialized with each
+// other; Snapshot, VerifyAccuracy and the per-node means may be called
+// concurrently with a running Run and observe each node's last fully
+// folded state.
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
+	"trickledown/internal/align"
 	"trickledown/internal/core"
 	"trickledown/internal/machine"
+	"trickledown/internal/pool"
 	"trickledown/internal/stats"
 	"trickledown/internal/workload"
 )
@@ -31,6 +51,11 @@ type Node struct {
 	Name string
 	srv  *machine.Server
 	seen int
+
+	// mu guards the fold accumulators below, so readers (Snapshot,
+	// VerifyAccuracy) are safe against the worker currently folding this
+	// node. The server itself is only ever touched by that one worker.
+	mu sync.Mutex
 	// estSum/measSum accumulate per-sample totals for means.
 	estSum  float64
 	measSum float64
@@ -40,16 +65,39 @@ type Node struct {
 // Cluster manages a set of nodes with one shared estimator (the paper's
 // fit-once, deploy-everywhere economics).
 type Cluster struct {
-	est   *core.Estimator
+	est *core.Estimator
+
+	mu    sync.Mutex // guards nodes and p
 	nodes []*Node
+	p     *pool.Pool
+
+	runMu sync.Mutex // serializes Run calls; a Server is not reentrant
 }
 
-// New returns an empty cluster using the given fitted estimator.
+// New returns an empty cluster using the given fitted estimator, stepping
+// nodes on a default-sized worker pool (see SetWorkers).
 func New(est *core.Estimator) (*Cluster, error) {
 	if est == nil {
 		return nil, errors.New("cluster: nil estimator")
 	}
-	return &Cluster{est: est}, nil
+	return &Cluster{est: est, p: pool.New(0)}, nil
+}
+
+// SetWorkers bounds how many nodes Run steps concurrently. Non-positive
+// n restores the default, runtime.GOMAXPROCS. One worker reproduces the
+// serial path exactly; any other count produces identical results (each
+// node is an independent seeded simulation), just faster.
+func (c *Cluster) SetWorkers(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.p = pool.New(n)
+}
+
+// Workers returns the current node-stepping concurrency bound.
+func (c *Cluster) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.p.Workers()
 }
 
 // AddHomogeneous adds a node running one workload on the default server
@@ -83,6 +131,8 @@ func (c *Cluster) add(name string, srv *machine.Server) (*Node, error) {
 	if name == "" {
 		return nil, errors.New("cluster: empty node name")
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for _, n := range c.nodes {
 		if n.Name == name {
 			return nil, fmt.Errorf("cluster: duplicate node %q", name)
@@ -95,30 +145,69 @@ func (c *Cluster) add(name string, srv *machine.Server) (*Node, error) {
 
 // Nodes returns the managed nodes in insertion order.
 func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]*Node(nil), c.nodes...)
 }
 
 // Run advances every node by the given simulated seconds and folds the
-// new samples into the running means.
+// new samples into the running means. Nodes are stepped in parallel on
+// the cluster's worker pool; see the package comment for the determinism
+// and error-aggregation guarantees.
 func (c *Cluster) Run(seconds float64) error {
-	for _, n := range c.nodes {
-		n.srv.Run(seconds)
+	return c.RunContext(context.Background(), seconds)
+}
+
+// RunContext is Run with cooperative cancellation. On cancellation the
+// aggregate error includes ctx.Err(); nodes already stepped keep their
+// folded samples (each node stops between slices, never mid-slice).
+func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
+	c.runMu.Lock()
+	defer c.runMu.Unlock()
+	c.mu.Lock()
+	nodes := append([]*Node(nil), c.nodes...)
+	p := c.p
+	c.mu.Unlock()
+	return p.Run(ctx, len(nodes), func(ctx context.Context, i int) error {
+		n := nodes[i]
+		runErr := n.srv.RunContext(ctx, seconds)
+		// Fold whatever was sampled even on a cancelled (partial) run.
 		ds, err := n.srv.Dataset()
 		if err != nil {
 			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
 		}
-		for ; n.seen < ds.Len(); n.seen++ {
-			row := &ds.Rows[n.seen]
-			n.estSum += c.est.Estimate(&row.Counters).Total()
-			n.measSum += row.Power.Total()
-			n.n++
+		n.fold(c.est, ds)
+		if runErr != nil {
+			return fmt.Errorf("cluster: node %s: %w", n.Name, runErr)
 		}
+		return nil
+	})
+}
+
+// fold accumulates the node's not-yet-seen samples into its running
+// means. Only the worker stepping the node calls it (Run calls are
+// serialized), so n.seen and the dataset walk need no lock; the lock
+// protects the accumulators against concurrent mean readers.
+func (n *Node) fold(est *core.Estimator, ds *align.Dataset) {
+	var estSum, measSum float64
+	added := 0
+	for ; n.seen < ds.Len(); n.seen++ {
+		row := &ds.Rows[n.seen]
+		estSum += est.Estimate(&row.Counters).Total()
+		measSum += row.Power.Total()
+		added++
 	}
-	return nil
+	n.mu.Lock()
+	n.estSum += estSum
+	n.measSum += measSum
+	n.n += added
+	n.mu.Unlock()
 }
 
 // EstimatedMean returns the node's counter-estimated average total power.
 func (n *Node) EstimatedMean() (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.n == 0 {
 		return 0, ErrNoSamples
 	}
@@ -128,6 +217,8 @@ func (n *Node) EstimatedMean() (float64, error) {
 // MeasuredMean returns the node's measured average total power — ground
 // truth the manager itself never uses.
 func (n *Node) MeasuredMean() (float64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	if n.n == 0 {
 		return 0, ErrNoSamples
 	}
@@ -140,11 +231,14 @@ type Estimate struct {
 	Watts float64
 }
 
-// Snapshot returns the per-node estimated means plus the cluster total.
+// Snapshot returns the per-node estimated means plus the cluster total,
+// in node insertion order regardless of how the underlying runs were
+// scheduled.
 func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
-	out := make([]Estimate, 0, len(c.nodes))
+	nodes := c.Nodes()
+	out := make([]Estimate, 0, len(nodes))
 	total := 0.0
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		w, err := n.EstimatedMean()
 		if err != nil {
 			return nil, 0, fmt.Errorf("cluster: node %s: %w", n.Name, err)
@@ -155,8 +249,8 @@ func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
 	return out, total, nil
 }
 
-// Plan is a consolidation decision: evict the named nodes (cheapest
-// first) so the projected draw fits the budget.
+// Plan is a consolidation decision: evict the named nodes (largest
+// consumers first) so the projected draw fits the budget.
 type Plan struct {
 	// Evict lists nodes to consolidate away, in eviction order.
 	Evict []string
@@ -166,8 +260,12 @@ type Plan struct {
 	Fits bool
 }
 
-// PlanConsolidation picks the cheapest nodes to power down until the
-// estimated total fits the budget. It never plans away the last node.
+// PlanConsolidation picks nodes to power down until the estimated total
+// fits the budget. It evicts the largest consumers first, so the budget
+// is reached with the fewest powered-down nodes (each eviction is a
+// workload migration; fewer migrations is the cheaper plan). It never
+// plans away the last node. Ties break toward the earlier estimate, so
+// the plan is deterministic for a fixed input order.
 func PlanConsolidation(estimates []Estimate, budgetWatts float64) Plan {
 	total := 0.0
 	for _, e := range estimates {
@@ -179,7 +277,7 @@ func PlanConsolidation(estimates []Estimate, budgetWatts float64) Plan {
 		return plan
 	}
 	sorted := append([]Estimate(nil), estimates...)
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Watts < sorted[j].Watts })
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Watts > sorted[j].Watts })
 	for _, e := range sorted {
 		if plan.Projected <= budgetWatts || len(plan.Evict) == len(estimates)-1 {
 			break
@@ -196,7 +294,7 @@ func PlanConsolidation(estimates []Estimate, budgetWatts float64) Plan {
 // would run once before trusting the sensorless readings.
 func (c *Cluster) VerifyAccuracy() (float64, error) {
 	var est, meas []float64
-	for _, n := range c.nodes {
+	for _, n := range c.Nodes() {
 		e, err := n.EstimatedMean()
 		if err != nil {
 			return 0, err

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -148,15 +149,15 @@ func TestPlanConsolidation(t *testing.T) {
 	if !p.Fits || len(p.Evict) != 0 {
 		t.Errorf("plan = %+v", p)
 	}
-	// Needs two cheapest out.
+	// Largest consumers go first: d (260) then a (250).
 	p = PlanConsolidation(est, 520)
 	if !p.Fits {
 		t.Fatalf("plan = %+v", p)
 	}
-	if len(p.Evict) != 2 || p.Evict[0] != "c" || p.Evict[1] != "b" {
+	if len(p.Evict) != 2 || p.Evict[0] != "d" || p.Evict[1] != "a" {
 		t.Errorf("evictions = %v", p.Evict)
 	}
-	if math.Abs(p.Projected-510) > 1e-9 {
+	if math.Abs(p.Projected-290) > 1e-9 {
 		t.Errorf("projected = %v", p.Projected)
 	}
 	// Impossible budget: keeps the last node and reports Fits=false.
@@ -171,6 +172,183 @@ func TestPlanConsolidation(t *testing.T) {
 	p = PlanConsolidation(nil, 10)
 	if !p.Fits || p.Projected != 0 {
 		t.Errorf("empty plan = %+v", p)
+	}
+}
+
+// TestPlanConsolidationFewestEvictions is the regression test for the
+// eviction policy: evicting the largest consumer first reaches the
+// budget with fewer powered-down nodes than any cheapest-first plan,
+// while the never-evict-the-last-node invariant holds.
+func TestPlanConsolidationFewestEvictions(t *testing.T) {
+	est := []Estimate{
+		{Name: "a", Watts: 250},
+		{Name: "b", Watts: 150},
+		{Name: "c", Watts: 140},
+		{Name: "d", Watts: 260},
+	}
+	// Budget 550 from a total of 800: one largest eviction (d, 260)
+	// suffices; cheapest-first would have powered down two nodes
+	// (c then b) to shed the same 250+ Watts.
+	p := PlanConsolidation(est, 550)
+	if !p.Fits {
+		t.Fatalf("plan = %+v", p)
+	}
+	if len(p.Evict) != 1 || p.Evict[0] != "d" {
+		t.Errorf("evictions = %v, want exactly [d]", p.Evict)
+	}
+	if math.Abs(p.Projected-540) > 1e-9 {
+		t.Errorf("projected = %v", p.Projected)
+	}
+	// Every infeasible budget stops one node short of emptying the
+	// cluster, and the survivor is the smallest consumer.
+	for _, budget := range []float64{0, 10, 100} {
+		p := PlanConsolidation(est, budget)
+		if p.Fits {
+			t.Errorf("budget %v reported as fitting", budget)
+		}
+		if len(p.Evict) != len(est)-1 {
+			t.Errorf("budget %v: evicted %d nodes, want %d", budget, len(p.Evict), len(est)-1)
+		}
+		for _, name := range p.Evict {
+			if name == "c" {
+				t.Errorf("budget %v: evicted the smallest consumer %q before the rest", budget, name)
+			}
+		}
+		if math.Abs(p.Projected-140) > 1e-9 {
+			t.Errorf("budget %v: projected = %v, want the last node's 140", budget, p.Projected)
+		}
+	}
+}
+
+// buildTestCluster assembles a small heterogeneous cluster with fixed
+// seeds and the given worker bound.
+func buildTestCluster(t *testing.T, workers int) *Cluster {
+	t.Helper()
+	c, err := New(estimator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetWorkers(workers)
+	for i, n := range []struct{ name, wl string }{
+		{"n0", "gcc"}, {"n1", "idle"}, {"n2", "mesa"}, {"n3", "dbt-2"},
+	} {
+		if _, err := c.AddHomogeneous(n.name, n.wl, uint64(40+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+// TestClusterRunDeterministic checks the tentpole guarantee: the
+// parallel path produces bit-for-bit the same Snapshot and
+// VerifyAccuracy results as the serial (one-worker) path, because each
+// node is an independent seeded simulation folded under per-node state.
+func TestClusterRunDeterministic(t *testing.T) {
+	serial := buildTestCluster(t, 1)
+	parallel := buildTestCluster(t, 8)
+	if serial.Workers() != 1 || parallel.Workers() != 8 {
+		t.Fatalf("workers = %d, %d", serial.Workers(), parallel.Workers())
+	}
+	// Two increments so the fold-resume path is covered too.
+	for _, c := range []*Cluster{serial, parallel} {
+		if err := c.Run(20); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapS, totalS, err := serial.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapP, totalP, err := parallel.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalS != totalP {
+		t.Errorf("totals differ: serial %v, parallel %v", totalS, totalP)
+	}
+	for i := range snapS {
+		if snapS[i] != snapP[i] {
+			t.Errorf("node %d: serial %+v != parallel %+v", i, snapS[i], snapP[i])
+		}
+	}
+	accS, err := serial.VerifyAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	accP, err := parallel.VerifyAccuracy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accS != accP {
+		t.Errorf("accuracy differs: serial %v, parallel %v", accS, accP)
+	}
+}
+
+// TestClusterRunParallelRace exercises parallel node stepping with
+// concurrent snapshot readers; it is meaningful under -race.
+func TestClusterRunParallelRace(t *testing.T) {
+	c := buildTestCluster(t, 4)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Readers racing the folding workers: means are either
+			// ErrNoSamples or a consistent folded state.
+			for _, n := range c.Nodes() {
+				if _, err := n.EstimatedMean(); err != nil && !errors.Is(err, ErrNoSamples) {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := c.VerifyAccuracy(); err != nil && !errors.Is(err, ErrNoSamples) {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	if err := c.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	if _, _, err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterRunCancel checks RunContext's cancellation semantics: the
+// aggregate error reports context.Canceled and the partially stepped
+// nodes keep their folded samples.
+func TestClusterRunCancel(t *testing.T) {
+	c := buildTestCluster(t, 2)
+	if err := c.Run(5); err != nil {
+		t.Fatal(err)
+	}
+	_, totalBefore, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := c.RunContext(ctx, 30); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext err = %v, want context.Canceled", err)
+	}
+	// The pre-cancellation samples are still there and readable.
+	_, totalAfter, err := c.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totalAfter < totalBefore*0.5 {
+		t.Errorf("samples lost on cancellation: %v -> %v", totalBefore, totalAfter)
 	}
 }
 

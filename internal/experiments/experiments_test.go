@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"strings"
+	"sync"
 	"testing"
 
 	"trickledown/internal/power"
@@ -275,6 +276,114 @@ func TestRunnerCaching(t *testing.T) {
 	if a == c {
 		t.Error("different seeds shared a cache entry")
 	}
+}
+
+// TestRunnerCacheKeyPrecision is the regression test for the cache-key
+// collision: two specs whose staggers (and durations) round to the same
+// integer must still get distinct cache entries. At Scale=0.01 the
+// paper-order staggers 30s and 90s become 0.3 and 0.9 — both formerly
+// printed as "0" by the %.0f key.
+func TestRunnerCacheKeyPrecision(t *testing.T) {
+	r := NewRunner(Options{Seed: 100, TrainSeed: 10, Scale: 0.01})
+	specA, err := r.scaledSpec("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specB := specA
+	specA.StaggerSec = 0.3
+	specB.StaggerSec = 0.9
+	if datasetKey(specA, 30, 1) == datasetKey(specB, 30, 1) {
+		t.Fatalf("distinct staggers share cache key %q", datasetKey(specA, 30, 1))
+	}
+	a, err := r.datasetSpec(specA, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.datasetSpec(specB, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("distinct staggers shared one cached trace")
+	}
+	// Sub-second durations must not collide either (30.2 vs 30.4 both
+	// rounded to "30").
+	c, err := r.datasetSpec(specA, 30.2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := r.datasetSpec(specA, 30.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == d {
+		t.Error("distinct durations shared one cached trace")
+	}
+	// Identical parameters still share.
+	e, err := r.datasetSpec(specA, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e != a {
+		t.Error("identical spec not cached")
+	}
+}
+
+// TestRunnerConcurrentTraining exercises the lazy Estimator/MemL3Model
+// init from many goroutines at once — the race fixed by sync.Once; it is
+// meaningful under -race. All callers must observe the same trained
+// models.
+func TestRunnerConcurrentTraining(t *testing.T) {
+	r := NewRunner(Options{Seed: 100, TrainSeed: 10, Scale: 0.05, Workers: 4})
+	const callers = 8
+	ests := make([]interface{}, callers)
+	mems := make([]interface{}, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			est, err := r.Estimator()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m, err := r.MemL3Model()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ests[i] = est
+			mems[i] = m
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if ests[i] != ests[0] {
+			t.Errorf("caller %d saw a different estimator", i)
+		}
+		if mems[i] != mems[0] {
+			t.Errorf("caller %d saw a different L3 model", i)
+		}
+	}
+}
+
+// TestTablesConcurrent regenerates two tables from concurrent
+// goroutines, the tdtables/tdreport pattern that used to race on the
+// lazy estimator init; meaningful under -race.
+func TestTablesConcurrent(t *testing.T) {
+	r := NewRunner(Options{Seed: 100, TrainSeed: 10, Scale: 0.05, Workers: 4})
+	var wg sync.WaitGroup
+	for _, get := range []func() (*Table, error){r.Table3, r.Table4} {
+		wg.Add(1)
+		go func(get func() (*Table, error)) {
+			defer wg.Done()
+			if _, err := get(); err != nil {
+				t.Error(err)
+			}
+		}(get)
+	}
+	wg.Wait()
 }
 
 func TestRunnerBadWorkload(t *testing.T) {

@@ -10,12 +10,14 @@
 package experiments
 
 import (
-	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"trickledown/internal/align"
 	"trickledown/internal/core"
 	"trickledown/internal/machine"
+	"trickledown/internal/pool"
 	"trickledown/internal/power"
 	"trickledown/internal/workload"
 )
@@ -31,6 +33,11 @@ type Options struct {
 	// trace lengths; tests use small scales). Durations never drop below
 	// 30 seconds.
 	Scale float64
+	// Workers bounds how many simulations the runner executes
+	// concurrently across all table and figure generation; non-positive
+	// means runtime.GOMAXPROCS. The bound is shared: concurrent table
+	// calls fan out through one scheduler instead of stacking goroutines.
+	Workers int
 }
 
 // DefaultOptions runs at full paper-scale durations.
@@ -40,15 +47,25 @@ func DefaultOptions() Options {
 
 // Runner executes experiments, caching simulated traces so tables and
 // figures that need the same run share it. Distinct runs execute in
-// parallel (each simulation is independent and seeded), so the cache is
-// guarded by a mutex and duplicate requests for the same key share one
-// in-flight run.
+// parallel on one bounded worker pool (each simulation is independent
+// and seeded), the cache is guarded by a mutex, and duplicate requests
+// for the same key share one in-flight run. All Runner methods are safe
+// for concurrent use.
 type Runner struct {
 	opt   Options
+	p     *pool.Pool
 	mu    sync.Mutex
 	cache map[string]*entry
-	est   *core.Estimator
-	memL3 *core.Model
+
+	// Lazy one-time training; the sync.Onces make concurrent first
+	// callers race-free (the fields are written exactly once, before any
+	// reader returns).
+	estOnce sync.Once
+	est     *core.Estimator
+	estErr  error
+	memOnce sync.Once
+	memL3   *core.Model
+	memErr  error
 }
 
 // entry is one cached (possibly in-flight) simulation run.
@@ -64,7 +81,7 @@ func NewRunner(opt Options) *Runner {
 	if opt.Scale <= 0 {
 		opt.Scale = 1.0
 	}
-	return &Runner{opt: opt, cache: make(map[string]*entry)}
+	return &Runner{opt: opt, p: pool.New(opt.Workers), cache: make(map[string]*entry)}
 }
 
 // duration scales d with a 30-second floor.
@@ -97,10 +114,24 @@ func (r *Runner) dataset(name string, seconds float64, seed uint64) (*align.Data
 	return r.datasetSpec(spec, seconds, seed)
 }
 
+// datasetKey builds the cache key for one (spec, duration, seed) run.
+// The float parameters are formatted at full precision: %.0f-style
+// rounding once collided distinct reduced-scale runs (e.g. Scale=0.01
+// staggers 0.3 and 0.9 both printed as "0"), silently sharing the wrong
+// trace between experiments.
+func datasetKey(spec workload.Spec, seconds float64, seed uint64) string {
+	return strings.Join([]string{
+		spec.Name,
+		strconv.FormatFloat(spec.StaggerSec, 'g', -1, 64),
+		strconv.FormatFloat(seconds, 'g', -1, 64),
+		strconv.FormatUint(seed, 10),
+	}, "/")
+}
+
 // datasetSpec runs an explicit (possibly modified) spec, cached and
 // deduplicated across goroutines.
 func (r *Runner) datasetSpec(spec workload.Spec, seconds float64, seed uint64) (*align.Dataset, error) {
-	key := fmt.Sprintf("%s/%.0f/%.0f/%d", spec.Name, spec.StaggerSec, seconds, seed)
+	key := datasetKey(spec, seconds, seed)
 	r.mu.Lock()
 	e, ok := r.cache[key]
 	if !ok {
@@ -146,11 +177,16 @@ func (r *Runner) validation(name string) (*align.Dataset, error) {
 
 // Estimator trains (once) and returns the paper's five production
 // models: Eq. 1 on gcc, Eq. 3 on mcf, Eq. 4 and Eq. 5 on DiskLoad, and
-// the chipset constant on gcc.
+// the chipset constant on gcc. Safe for concurrent use: the first
+// caller trains, everyone else waits for and shares the result.
 func (r *Runner) Estimator() (*core.Estimator, error) {
-	if r.est != nil {
-		return r.est, nil
-	}
+	r.estOnce.Do(func() {
+		r.est, r.estErr = r.trainEstimator()
+	})
+	return r.est, r.estErr
+}
+
+func (r *Runner) trainEstimator() (*core.Estimator, error) {
 	gcc, err := r.dataset("gcc", r.duration(390), r.opt.TrainSeed)
 	if err != nil {
 		return nil, err
@@ -163,33 +199,27 @@ func (r *Runner) Estimator() (*core.Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	est, err := core.TrainEstimator(core.TrainingSet{
+	return core.TrainEstimator(core.TrainingSet{
 		CPU: gcc, Memory: mcf, Disk: dl, IO: dl, Chipset: gcc,
 	})
-	if err != nil {
-		return nil, err
-	}
-	r.est = est
-	return est, nil
 }
 
 // MemL3Model trains (once) the Equation 2 cache-miss memory model on
 // mesa, the paper's choice ("the first workload we considered was the
-// integer workload mesa").
+// integer workload mesa"). Safe for concurrent use.
 func (r *Runner) MemL3Model() (*core.Model, error) {
-	if r.memL3 != nil {
-		return r.memL3, nil
-	}
+	r.memOnce.Do(func() {
+		r.memL3, r.memErr = r.trainMemL3()
+	})
+	return r.memL3, r.memErr
+}
+
+func (r *Runner) trainMemL3() (*core.Model, error) {
 	mesa, err := r.dataset("mesa", r.duration(600), r.opt.TrainSeed)
 	if err != nil {
 		return nil, err
 	}
-	m, err := core.Train(core.MemL3Spec(), mesa)
-	if err != nil {
-		return nil, err
-	}
-	r.memL3 = m
-	return m, nil
+	return core.Train(core.MemL3Spec(), mesa)
 }
 
 // Equations renders every fitted production model plus the Eq. 2

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
-	"sync"
 
 	"trickledown/internal/power"
 	"trickledown/internal/stats"
@@ -98,43 +98,37 @@ func sustainedWindow(spec workload.Spec, rows int) int {
 	return ramp
 }
 
-// characterize runs every workload (in parallel) and applies fn to the
-// sustained window of each subsystem's measured power series.
+// characterize runs every workload (in parallel on the runner's worker
+// pool) and applies fn to the sustained window of each subsystem's
+// measured power series. Each item writes only its own slot, so the
+// result is independent of scheduling order.
 func (r *Runner) characterize(fn func([]float64) float64) (map[string][]float64, error) {
 	names := workload.TableOrder()
-	out := make(map[string][]float64, len(names))
-	errs := make([]error, len(names))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			spec, err := r.scaledSpec(name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ds, err := r.validation(name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ds = ds.Skip(sustainedWindow(spec, ds.Len()))
-			vals := make([]float64, 0, power.NumSubsystems)
-			for _, s := range power.Subsystems() {
-				vals = append(vals, fn(ds.PowerColumn(s)))
-			}
-			mu.Lock()
-			out[name] = vals
-			mu.Unlock()
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	vals := make([][]float64, len(names))
+	err := r.p.Run(context.Background(), len(names), func(_ context.Context, i int) error {
+		name := names[i]
+		spec, err := r.scaledSpec(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		ds, err := r.validation(name)
+		if err != nil {
+			return err
+		}
+		ds = ds.Skip(sustainedWindow(spec, ds.Len()))
+		row := make([]float64, 0, power.NumSubsystems)
+		for _, s := range power.Subsystems() {
+			row = append(row, fn(ds.PowerColumn(s)))
+		}
+		vals[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]float64, len(names))
+	for i, name := range names {
+		out[name] = vals[i]
 	}
 	return out, nil
 }
@@ -208,36 +202,30 @@ func (r *Runner) modelErrors(name string) ([]float64, error) {
 }
 
 // errorTable builds a validation-error table for the given workloads,
-// validating them in parallel (training happens once, up front).
+// validating them in parallel on the runner's worker pool (training
+// happens once, up front). Rows land at their workload's index, so the
+// table order is the paper's regardless of scheduling.
 func (r *Runner) errorTable(title string, names []string, paper map[string][5]float64) (*Table, error) {
 	if _, err := r.Estimator(); err != nil {
 		return nil, err
 	}
 	t := &Table{Title: title, Columns: subsystemColumns()}
 	t.Rows = make([]TableRow, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			ours, err := r.modelErrors(name)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			row := TableRow{Workload: name, Ours: ours}
-			if p, ok := paper[name]; ok {
-				row.Paper = p[:]
-			}
-			t.Rows[i] = row
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := r.p.Run(context.Background(), len(names), func(_ context.Context, i int) error {
+		name := names[i]
+		ours, err := r.modelErrors(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		row := TableRow{Workload: name, Ours: ours}
+		if p, ok := paper[name]; ok {
+			row.Paper = p[:]
+		}
+		t.Rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Per-subsystem averages.
 	avg := TableRow{Workload: "average"}

@@ -11,6 +11,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -466,7 +467,16 @@ func (s *Server) step(c *sim.Clock) {
 
 // Run advances the machine by the given number of simulated seconds.
 func (s *Server) Run(seconds float64) {
-	s.engine.RunFor(time.Duration(seconds * float64(time.Second)))
+	// A background context never cancels, so the error is always nil.
+	_ = s.RunContext(context.Background(), seconds)
+}
+
+// RunContext advances the machine by the given number of simulated
+// seconds, stopping early (between slices, with the machine left in a
+// consistent state) when ctx is cancelled. A partial run's samples
+// remain valid: Dataset still returns everything sampled so far.
+func (s *Server) RunContext(ctx context.Context, seconds float64) error {
+	return s.engine.RunForContext(ctx, time.Duration(seconds*float64(time.Second)))
 }
 
 // Dataset merges the DAQ and counter logs into the aligned trace.

@@ -1,0 +1,78 @@
+// Package pool provides the bounded worker pool behind every parallel
+// fan-out in the system: cluster node stepping, table/figure generation
+// and any future batch work. It exists so concurrency is configured in
+// one place (a worker budget) instead of ad-hoc `go func` blocks, and so
+// results stay deterministic: work items are identified by index, each
+// item's result lands in that item's slot, and errors are aggregated in
+// index order regardless of completion order.
+//
+// The bound is shared. Two Run calls on the same Pool together hold at
+// most Workers() items in flight, so a process-wide pool acts as one
+// scheduler for every concurrent caller.
+package pool
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded parallel executor. The zero value is not usable; use
+// New. A Pool is safe for concurrent use and carries no per-Run state.
+type Pool struct {
+	// sem is the shared concurrency budget: one slot per in-flight item
+	// across all Run calls on this pool.
+	sem chan struct{}
+}
+
+// New returns a pool bounding in-flight work to workers items. A
+// non-positive count defaults to runtime.GOMAXPROCS(0), the number of
+// CPUs the Go scheduler will actually use.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Run executes fn(ctx, i) for every i in [0, n), at most Workers() items
+// in flight at once (shared with every other concurrent Run on the same
+// pool). It waits for all dispatched items and returns the aggregate of
+// every item error, joined in index order — it does not stop at the
+// first failure, so a caller sees all failed items at once.
+//
+// Cancellation: when ctx is cancelled, no further items are dispatched,
+// already-running items are left to observe ctx themselves, and the
+// returned error includes ctx.Err(). Run must not be called from inside
+// one of its own work functions: a worker waiting on the shared budget
+// while holding a slot can deadlock the pool.
+func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	// One slot per item plus one for the cancellation error, so every
+	// writer has a distinct slot and the join order is deterministic.
+	errs := make([]error, n+1)
+	var wg sync.WaitGroup
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			errs[n] = ctx.Err()
+			break dispatch
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				errs[i] = fn(ctx, i)
+			}(i)
+		}
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

@@ -1,0 +1,149 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunExecutesEveryItem(t *testing.T) {
+	p := New(3)
+	const n = 50
+	done := make([]bool, n)
+	err := p.Run(context.Background(), n, func(_ context.Context, i int) error {
+		done[i] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if !d {
+			t.Errorf("item %d not executed", i)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 4
+	p := New(workers)
+	var cur, peak atomic.Int64
+	err := p.Run(context.Background(), 64, func(_ context.Context, i int) error {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d exceeds bound %d", got, workers)
+	}
+}
+
+// TestRunSharedBound checks that two concurrent Run calls share one
+// budget — the pool is a process-wide scheduler, not a per-call one.
+func TestRunSharedBound(t *testing.T) {
+	const workers = 3
+	p := New(workers)
+	var cur, peak atomic.Int64
+	body := func(_ context.Context, i int) error {
+		c := cur.Add(1)
+		for {
+			old := peak.Load()
+			if c <= old || peak.CompareAndSwap(old, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < 2; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Run(context.Background(), 20, body); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Errorf("peak concurrency %d across two Runs exceeds shared bound %d", got, workers)
+	}
+}
+
+func TestRunAggregatesAllErrors(t *testing.T) {
+	p := New(2)
+	err := p.Run(context.Background(), 6, func(_ context.Context, i int) error {
+		if i%2 == 1 {
+			return fmt.Errorf("item %d failed", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected aggregated error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"item 1 failed", "item 3 failed", "item 5 failed"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("aggregate missing %q: %v", want, msg)
+		}
+	}
+	// Index order regardless of completion order.
+	if strings.Index(msg, "item 1") > strings.Index(msg, "item 5") {
+		t.Errorf("errors not joined in index order: %v", msg)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := p.Run(ctx, 100, func(ctx context.Context, i int) error {
+		started.Add(1)
+		if i == 0 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n == 100 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestRunEmptyAndDefaults(t *testing.T) {
+	if err := New(2).Run(context.Background(), 0, nil); err != nil {
+		t.Errorf("empty run: %v", err)
+	}
+	if w := New(0).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS %d", w, runtime.GOMAXPROCS(0))
+	}
+	if w := New(7).Workers(); w != 7 {
+		t.Errorf("workers = %d", w)
+	}
+	// A pre-cancelled context reports cancellation even for n = 0 work.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := New(1).Run(ctx, 0, nil); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled empty run err = %v", err)
+	}
+}

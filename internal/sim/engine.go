@@ -1,6 +1,9 @@
 package sim
 
-import "time"
+import (
+	"context"
+	"time"
+)
 
 // Component is a piece of simulated hardware or software that is stepped
 // once per slice. Components are stepped in registration order, which the
@@ -40,18 +43,46 @@ func (e *Engine) Register(cs ...Component) {
 	e.components = append(e.components, cs...)
 }
 
+// cancelCheckSlices is how many slices run between context checks in
+// RunSlicesContext. At the default 1 ms slice this bounds cancellation
+// latency to ~1/8 of a simulated second while keeping the select out of
+// the per-slice hot path.
+const cancelCheckSlices = 128
+
 // RunSlices executes n simulation slices.
 func (e *Engine) RunSlices(n int64) {
+	// A background context can never cancel, so the error is always nil.
+	_ = e.RunSlicesContext(context.Background(), n)
+}
+
+// RunSlicesContext executes up to n simulation slices, stopping early
+// (between slices, never mid-slice, so the machine state stays
+// consistent) when ctx is cancelled. It returns ctx.Err() on
+// cancellation and nil when all n slices ran.
+func (e *Engine) RunSlicesContext(ctx context.Context, n int64) error {
 	for i := int64(0); i < n; i++ {
+		if i%cancelCheckSlices == 0 {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+		}
 		for _, c := range e.components {
 			c.Step(e.clock)
 		}
 		e.clock.Tick()
 	}
+	return nil
 }
 
 // RunFor executes simulation slices until the clock has advanced by d
 // (rounded down to whole slices).
 func (e *Engine) RunFor(d time.Duration) {
 	e.RunSlices(int64(d / e.clock.Slice()))
+}
+
+// RunForContext is RunFor with cancellation; see RunSlicesContext.
+func (e *Engine) RunForContext(ctx context.Context, d time.Duration) error {
+	return e.RunSlicesContext(ctx, int64(d/e.clock.Slice()))
 }
