@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tdfigures [-scale 1.0] [-seed 100] [-trainseed 10] [-out DIR] [-figure 2..7|all] [-workers N]
+//	          [-metrics-addr :9090] [-v]
 package main
 
 import (
@@ -14,9 +15,15 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"time"
 
 	"trickledown/internal/experiments"
+	"trickledown/internal/telemetry"
 	"trickledown/internal/trace"
+
+	// Linked for its metric registrations: /metrics exposes the full
+	// schema regardless of which subsystems a run exercises.
+	_ "trickledown/internal/cluster"
 )
 
 func main() {
@@ -28,7 +35,22 @@ func main() {
 	outDir := flag.String("out", "", "directory for CSV output (omit to skip)")
 	figure := flag.String("figure", "all", "which figure to produce: 2, 3, 4, 5, 6, 7 or all")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+	verbose := flag.Bool("v", false, "debug-level logging with periodic progress lines")
 	flag.Parse()
+
+	logger := telemetry.SetupLogger(*verbose)
+	if *metricsAddr != "" {
+		addr, err := telemetry.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("telemetry listening", "addr", addr.String(),
+			"metrics", fmt.Sprintf("http://%s/metrics", addr))
+	}
+	if *verbose {
+		defer telemetry.StartProgress(logger, 2*time.Second)()
+	}
 
 	r := experiments.NewRunner(experiments.Options{
 		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale, Workers: *workers,
@@ -92,9 +114,12 @@ func main() {
 			continue
 		}
 		ran = true
+		start := time.Now()
+		logger.Debug("generating figure", "figure", name)
 		if err := jobs[name](); err != nil {
 			log.Fatal(err)
 		}
+		logger.Debug("figure done", "figure", name, "elapsed", time.Since(start))
 	}
 	if !ran {
 		log.Fatalf("unknown -figure %q", *figure)

@@ -10,10 +10,13 @@
 //	tdpower -placement "gcc:0,gcc:1:30,dbt-2:2"   # heterogeneous placement wl:thread[:start]
 //	tdpower -record trace.csv ...     # save the aligned power+counter log
 //	tdpower -replay trace.csv ...     # analyze a recorded log instead of simulating
+//	tdpower -metrics-addr :9090 ...   # live /metrics, /debug/vars and /debug/pprof
 //	tdpower -list
 //
 // The -percpu flag adds the Equation 1 per-processor attribution, the
-// paper's SMP accounting use case.
+// paper's SMP accounting use case. Status lines go to stderr as
+// structured slog records (-v raises the level to Debug and enables a
+// periodic progress line); results stay on stdout.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"trickledown/internal/align"
 	"trickledown/internal/core"
@@ -30,7 +34,13 @@ import (
 	"trickledown/internal/perfctr"
 	"trickledown/internal/power"
 	"trickledown/internal/stats"
+	"trickledown/internal/telemetry"
 	"trickledown/internal/workload"
+
+	// Linked for its metric registrations only: /metrics always exposes
+	// the full sim/pool/cluster/daq schema (at zero when unused), so
+	// dashboards never see series appear and disappear between binaries.
+	_ "trickledown/internal/cluster"
 )
 
 func main() {
@@ -47,14 +57,29 @@ func main() {
 	record := flag.String("record", "", "write the aligned power+counter log to this CSV file")
 	replay := flag.String("replay", "", "analyze a recorded CSV log instead of simulating")
 	workers := flag.Int("workers", 0, "max concurrent training simulations (0 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; empty = off)")
+	verbose := flag.Bool("v", false, "debug-level logging with periodic progress lines")
 	flag.Parse()
+
+	logger := telemetry.SetupLogger(*verbose)
+	if *metricsAddr != "" {
+		addr, err := telemetry.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("telemetry listening", "addr", addr.String(),
+			"metrics", fmt.Sprintf("http://%s/metrics", addr))
+	}
+	if *verbose {
+		defer telemetry.StartProgress(logger, 2*time.Second)()
+	}
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(workload.TableOrder(), " "))
 		return
 	}
 
-	fmt.Printf("training models (scale %.2f)...\n", *scale)
+	logger.Info("training models", "scale", *scale, "workers", *workers)
 	runner := experiments.NewRunner(experiments.Options{Seed: 100, TrainSeed: 10, Scale: *scale, Workers: *workers})
 	est, err := runner.Estimator()
 	if err != nil {
@@ -72,7 +97,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("replaying %d samples from %s\n\n", ds.Len(), *replay)
+		logger.Info("replaying recorded log", "samples", ds.Len(), "file", *replay)
 	} else {
 		cfg := machine.DefaultConfig()
 		cfg.Seed = *seed
@@ -97,8 +122,8 @@ func main() {
 			}
 			label = spec.Name
 		}
-		fmt.Printf("running %s for %.0fs on %d CPUs x %d threads, %d disks\n\n",
-			label, *seconds, cfg.NumCPUs, cfg.ThreadsPerCPU, cfg.NumDisks)
+		logger.Info("running workload", "workload", label, "seconds", *seconds,
+			"cpus", cfg.NumCPUs, "threads_per_cpu", cfg.ThreadsPerCPU, "disks", cfg.NumDisks)
 		srv.Run(*seconds)
 		if ds, err = srv.Dataset(); err != nil {
 			log.Fatal(err)
@@ -108,7 +133,7 @@ func main() {
 		log.Fatal("run produced no samples")
 	}
 	for _, issue := range core.CheckDataset(ds) {
-		fmt.Println("WARNING:", issue)
+		logger.Warn("dataset issue", "issue", issue)
 	}
 	if *record != "" {
 		f, err := os.Create(*record)
@@ -122,7 +147,7 @@ func main() {
 		if err := f.Close(); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("recorded %d samples to %s\n", ds.Len(), *record)
+		logger.Info("recorded aligned log", "samples", ds.Len(), "file", *record)
 	}
 
 	if !*quiet {

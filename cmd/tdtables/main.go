@@ -5,6 +5,7 @@
 // Usage:
 //
 //	tdtables [-scale 1.0] [-seed 100] [-trainseed 10] [-table 1|2|3|4|eq|all] [-workers N]
+//	         [-metrics-addr :9090] [-v]
 package main
 
 import (
@@ -12,8 +13,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"trickledown/internal/experiments"
+	"trickledown/internal/telemetry"
+
+	// Linked for its metric registrations: /metrics exposes the full
+	// schema regardless of which subsystems a run exercises.
+	_ "trickledown/internal/cluster"
 )
 
 func main() {
@@ -24,7 +31,22 @@ func main() {
 	trainSeed := flag.Uint64("trainseed", 10, "seed for training runs")
 	table := flag.String("table", "all", "which table to produce: 1, 2, 3, 4, eq or all")
 	workers := flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+	verbose := flag.Bool("v", false, "debug-level logging with periodic progress lines")
 	flag.Parse()
+
+	logger := telemetry.SetupLogger(*verbose)
+	if *metricsAddr != "" {
+		addr, err := telemetry.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("telemetry listening", "addr", addr.String(),
+			"metrics", fmt.Sprintf("http://%s/metrics", addr))
+	}
+	if *verbose {
+		defer telemetry.StartProgress(logger, 2*time.Second)()
+	}
 
 	r := experiments.NewRunner(experiments.Options{
 		Seed: *seed, TrainSeed: *trainSeed, Scale: *scale, Workers: *workers,
@@ -71,9 +93,12 @@ func main() {
 			continue
 		}
 		ran = true
+		start := time.Now()
+		logger.Debug("generating table", "table", j.name)
 		if err := j.run(); err != nil {
 			log.Fatal(err)
 		}
+		logger.Debug("table done", "table", j.name, "elapsed", time.Since(start))
 	}
 	if !ran {
 		log.Fatalf("unknown -table %q", *table)

@@ -14,13 +14,17 @@ package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"runtime"
+	"time"
 
 	"trickledown/internal/cluster"
 	"trickledown/internal/core"
 	"trickledown/internal/machine"
+	"trickledown/internal/telemetry"
 )
 
 const rackBudgetWatts = 800
@@ -34,11 +38,25 @@ var rackNodes = []struct{ name, wl string }{
 
 func main() {
 	log.SetFlags(0)
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = off)")
+	verbose := flag.Bool("v", false, "debug-level logging with periodic progress lines")
+	flag.Parse()
+	logger := telemetry.SetupLogger(*verbose)
+	if *metricsAddr != "" {
+		addr, err := telemetry.Serve(*metricsAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		logger.Info("telemetry listening", "addr", addr.String())
+	}
+	if *verbose {
+		defer telemetry.StartProgress(logger, 2*time.Second)()
+	}
 
 	// Train the estimator once; the same model file ships to every node
 	// ("since the tool utilizes existing microprocessor performance
 	// counters, the cost of implementation is small").
-	fmt.Println("training the fleet's estimator...")
+	slog.Info("training the fleet's estimator")
 	gcc, err := machine.RunWorkload("gcc", 180, 1)
 	if err != nil {
 		log.Fatal(err)
@@ -67,8 +85,8 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	fmt.Printf("\nrack of %d nodes, budget %d W; observing 90s of counters per node (%d workers on %d CPUs)\n\n",
-		len(rack.Nodes()), rackBudgetWatts, rack.Workers(), runtime.GOMAXPROCS(0))
+	slog.Info("observing rack", "nodes", len(rack.Nodes()), "budget_watts", rackBudgetWatts,
+		"observe_seconds", 90, "workers", rack.Workers(), "cpus", runtime.GOMAXPROCS(0))
 	// RunContext steps every node in parallel on the worker pool; an
 	// operator's monitoring loop would pass a real deadline or shutdown
 	// context here.
@@ -115,8 +133,7 @@ func main() {
 	// next to the busiest survivor's and measure the combined box.
 	evicted := plan.Evict[0]
 	host := busiestSurvivor(snap, plan.Evict)
-	fmt.Printf("verifying: co-scheduling %s's work onto %s and measuring the combined node...\n",
-		evicted, host)
+	slog.Info("verifying consolidation", "evicted", evicted, "host", host)
 	placements := make([]machine.Placement, 0, 8)
 	for t := 0; t < 4; t++ {
 		placements = append(placements, machine.Placement{Workload: workloadOf(host), Thread: t})

@@ -32,13 +32,29 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"trickledown/internal/align"
 	"trickledown/internal/core"
 	"trickledown/internal/machine"
 	"trickledown/internal/pool"
 	"trickledown/internal/stats"
+	"trickledown/internal/telemetry"
 	"trickledown/internal/workload"
+)
+
+// Cluster telemetry: per-node stepping progress plus the cost of folding
+// freshly sampled rows into the running means. RunContext itself is
+// timed as the "cluster.run" span.
+var (
+	mNodeRuns = telemetry.NewCounter("cluster_node_runs_total",
+		"individual node stepping tasks completed (one per node per Run)")
+	mNodeSimSeconds = telemetry.NewFloatCounter("cluster_node_sim_seconds_total",
+		"simulated seconds advanced, summed across nodes")
+	mSamplesFolded = telemetry.NewCounter("cluster_samples_folded_total",
+		"counter samples folded into node means")
+	mFoldLatency = telemetry.NewHistogram("cluster_fold_seconds",
+		"per-node fold latency (dataset merge to accumulated means)", nil)
 )
 
 // ErrNoSamples is returned when a node has not produced counter samples
@@ -164,6 +180,7 @@ func (c *Cluster) Run(seconds float64) error {
 func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
+	defer telemetry.StartSpan("cluster.run").End()
 	c.mu.Lock()
 	nodes := append([]*Node(nil), c.nodes...)
 	p := c.p
@@ -172,11 +189,15 @@ func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 		n := nodes[i]
 		runErr := n.srv.RunContext(ctx, seconds)
 		// Fold whatever was sampled even on a cancelled (partial) run.
+		foldStart := time.Now()
 		ds, err := n.srv.Dataset()
 		if err != nil {
 			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
 		}
 		n.fold(c.est, ds)
+		mFoldLatency.Observe(time.Since(foldStart).Seconds())
+		mNodeRuns.Inc()
+		mNodeSimSeconds.Add(seconds)
 		if runErr != nil {
 			return fmt.Errorf("cluster: node %s: %w", n.Name, runErr)
 		}
@@ -202,6 +223,7 @@ func (n *Node) fold(est *core.Estimator, ds *align.Dataset) {
 	n.measSum += measSum
 	n.n += added
 	n.mu.Unlock()
+	mSamplesFolded.Add(uint64(added))
 }
 
 // EstimatedMean returns the node's counter-estimated average total power.

@@ -8,6 +8,7 @@ import (
 
 	"trickledown/internal/core"
 	"trickledown/internal/machine"
+	"trickledown/internal/telemetry"
 )
 
 // testEstimator trains a small estimator once for the package's tests.
@@ -373,5 +374,47 @@ func TestClusterRunIncremental(t *testing.T) {
 	}
 	if n2 > 25 {
 		t.Errorf("samples double counted: %d", n2)
+	}
+}
+
+// TestTelemetryCrossLayer checks that one cluster run moves counters in
+// every instrumented layer below it — sim slices, pool scheduling,
+// cluster folds and DAQ acquisition — which is exactly what a /metrics
+// scrape during a run relies on.
+func TestTelemetryCrossLayer(t *testing.T) {
+	c, err := New(estimator(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddHomogeneous("n0", "gcc", 42); err != nil {
+		t.Fatal(err)
+	}
+	before := telemetry.Snapshot()
+	if err := c.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	after := telemetry.Snapshot()
+	for _, name := range []string{
+		"sim_slices_total",
+		"sim_seconds_total",
+		"sim_component_steps_total",
+		"pool_tasks_completed_total",
+		"pool_queue_wait_seconds_count",
+		"pool_task_duration_seconds_count",
+		"cluster_node_runs_total",
+		"cluster_node_sim_seconds_total",
+		"cluster_samples_folded_total",
+		"cluster_fold_seconds_count",
+		"daq_samples_total",
+		"daq_windows_total",
+		`spans_started_total{span="cluster.run"}`,
+	} {
+		if after[name] <= before[name] {
+			t.Errorf("%s did not advance: before %g, after %g", name, before[name], after[name])
+		}
+	}
+	if after["sim_engines_running"] != before["sim_engines_running"] {
+		t.Errorf("sim_engines_running leaked: before %g, after %g",
+			before["sim_engines_running"], after["sim_engines_running"])
 	}
 }

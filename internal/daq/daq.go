@@ -17,6 +17,20 @@ import (
 
 	"trickledown/internal/power"
 	"trickledown/internal/sim"
+	"trickledown/internal/telemetry"
+)
+
+// DAQ telemetry, summed across every instrument in the process. All
+// three counters sit on the per-slice acquisition path, so they are
+// single atomic adds: one per Acquire call for samples, one per closed
+// window, and one per (rare) full-scale clip.
+var (
+	mSamples = telemetry.NewCounter("daq_samples_total",
+		"per-channel ADC samples captured (aggregated per slice)")
+	mClips = telemetry.NewCounter("daq_clips_total",
+		"readings clamped to the ADC full-scale range (either rail)")
+	mWindows = telemetry.NewCounter("daq_windows_total",
+		"sync-to-sync averaging windows closed")
 )
 
 // Config describes the acquisition hardware.
@@ -103,6 +117,7 @@ func (d *DAQ) Acquire(sliceSec float64, truth power.Reading) {
 		d.sum[i] += d.quantize(v) * k
 	}
 	d.n += int64(k)
+	mSamples.Add(uint64(k))
 	d.daqTime += sliceSec * (1 + d.cfg.ClockSkewPPM*1e-6)
 }
 
@@ -110,9 +125,10 @@ func (d *DAQ) Acquire(sliceSec float64, truth power.Reading) {
 func (d *DAQ) quantize(w float64) float64 {
 	if w < 0 {
 		w = 0
-	}
-	if w > d.cfg.FullScaleWatts {
+		mClips.Inc()
+	} else if w > d.cfg.FullScaleWatts {
 		w = d.cfg.FullScaleWatts
+		mClips.Inc()
 	}
 	return math.Round(w/d.step) * d.step
 }
@@ -133,6 +149,7 @@ func (d *DAQ) SyncPulse() {
 		Mean:       mean,
 		Samples:    d.n,
 	})
+	mWindows.Inc()
 	d.sum = power.Reading{}
 	d.n = 0
 }

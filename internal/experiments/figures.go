@@ -5,6 +5,7 @@ import (
 	"trickledown/internal/core"
 	"trickledown/internal/power"
 	"trickledown/internal/stats"
+	"trickledown/internal/telemetry"
 	"trickledown/internal/trace"
 )
 
@@ -67,6 +68,7 @@ func figureFromDataset(title string, ds *align.Dataset, m *core.Model, dcRemove 
 // Figure2 regenerates "Four CPU Power Model - gcc": the Equation 1 model
 // over eight gcc threads started at 30-second intervals.
 func (r *Runner) Figure2() (*Figure, error) {
+	defer telemetry.StartSpan("experiments.figure2").End()
 	est, err := r.Estimator()
 	if err != nil {
 		return nil, err
@@ -83,6 +85,7 @@ func (r *Runner) Figure2() (*Figure, error) {
 // Figure3 regenerates "Memory Power Model (L3 Misses) - mesa": the
 // Equation 2 model on mesa's instance staircase.
 func (r *Runner) Figure3() (*Figure, error) {
+	defer telemetry.StartSpan("experiments.figure3").End()
 	l3, err := r.MemL3Model()
 	if err != nil {
 		return nil, err
@@ -102,6 +105,7 @@ func (r *Runner) Figure3() (*Figure, error) {
 // hardware threads are busy, prefetch traffic keeps growing while
 // demand-miss traffic does not.
 func (r *Runner) Figure4() (*trace.Trace, error) {
+	defer telemetry.StartSpan("experiments.figure4").End()
 	ds, err := r.mcfLong()
 	if err != nil {
 		return nil, err
@@ -125,6 +129,7 @@ func (r *Runner) Figure4() (*trace.Trace, error) {
 // mcf": the Equation 3 model over the same long mcf run that defeats the
 // L3-miss model.
 func (r *Runner) Figure5() (*Figure, error) {
+	defer telemetry.StartSpan("experiments.figure5").End()
 	est, err := r.Estimator()
 	if err != nil {
 		return nil, err
@@ -147,6 +152,7 @@ func (r *Runner) Figure5() (*Figure, error) {
 // under extreme cases"). It is not a numbered figure in the paper but
 // quantifies the narrative between Figures 3 and 5.
 func (r *Runner) Figure5L3() (*Figure, error) {
+	defer telemetry.StartSpan("experiments.figure5_l3").End()
 	l3, err := r.MemL3Model()
 	if err != nil {
 		return nil, err
@@ -162,6 +168,7 @@ func (r *Runner) Figure5L3() (*Figure, error) {
 // Workload": the Equation 4 model over DiskLoad, with the paper's
 // DC-offset-removed error metric.
 func (r *Runner) Figure6() (*Figure, error) {
+	defer telemetry.StartSpan("experiments.figure6").End()
 	est, err := r.Estimator()
 	if err != nil {
 		return nil, err
@@ -179,6 +186,7 @@ func (r *Runner) Figure6() (*Figure, error) {
 // Workload": the Equation 5 model over DiskLoad (raw error; the paper
 // notes the DC-removed error is far larger).
 func (r *Runner) Figure7() (*Figure, error) {
+	defer telemetry.StartSpan("experiments.figure7").End()
 	est, err := r.Estimator()
 	if err != nil {
 		return nil, err

@@ -19,7 +19,19 @@ import (
 	"trickledown/internal/machine"
 	"trickledown/internal/pool"
 	"trickledown/internal/power"
+	"trickledown/internal/telemetry"
 	"trickledown/internal/workload"
+)
+
+// Runner telemetry: cache effectiveness for the shared simulation
+// traces. A "hit" includes joining an in-flight run (the sync.Once
+// dedup); a "miss" is the caller that actually pays for the simulation.
+// Table and figure generation are timed as "experiments.*" spans.
+var (
+	mCacheHits = telemetry.NewCounter("experiments_cache_hits_total",
+		"dataset requests served from the runner cache (or joined in flight)")
+	mCacheMisses = telemetry.NewCounter("experiments_cache_misses_total",
+		"dataset requests that ran a fresh simulation")
 )
 
 // Options configures an experiment run.
@@ -139,7 +151,13 @@ func (r *Runner) datasetSpec(spec workload.Spec, seconds float64, seed uint64) (
 		r.cache[key] = e
 	}
 	r.mu.Unlock()
+	if ok {
+		mCacheHits.Inc()
+	} else {
+		mCacheMisses.Inc()
+	}
 	e.once.Do(func() {
+		defer telemetry.StartSpan("experiments.simulate").End()
 		cfg := machine.DefaultConfig()
 		cfg.Seed = seed
 		srv, err := machine.New(cfg, spec)
@@ -187,6 +205,7 @@ func (r *Runner) Estimator() (*core.Estimator, error) {
 }
 
 func (r *Runner) trainEstimator() (*core.Estimator, error) {
+	defer telemetry.StartSpan("experiments.train").End()
 	gcc, err := r.dataset("gcc", r.duration(390), r.opt.TrainSeed)
 	if err != nil {
 		return nil, err
@@ -215,6 +234,7 @@ func (r *Runner) MemL3Model() (*core.Model, error) {
 }
 
 func (r *Runner) trainMemL3() (*core.Model, error) {
+	defer telemetry.StartSpan("experiments.train_mem_l3").End()
 	mesa, err := r.dataset("mesa", r.duration(600), r.opt.TrainSeed)
 	if err != nil {
 		return nil, err

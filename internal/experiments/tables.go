@@ -8,6 +8,7 @@ import (
 
 	"trickledown/internal/power"
 	"trickledown/internal/stats"
+	"trickledown/internal/telemetry"
 	"trickledown/internal/workload"
 )
 
@@ -138,6 +139,7 @@ func (r *Runner) characterize(fn func([]float64) float64) (map[string][]float64,
 // instances running); the paper's long looped runs make its averages
 // sustained too.
 func (r *Runner) Table1() (*Table, error) {
+	defer telemetry.StartSpan("experiments.table1").End()
 	means, err := r.characterize(stats.Mean)
 	if err != nil {
 		return nil, err
@@ -164,6 +166,7 @@ func (r *Runner) Table1() (*Table, error) {
 
 // Table2 regenerates "Subsystem Power Standard Deviation (Watts)".
 func (r *Runner) Table2() (*Table, error) {
+	defer telemetry.StartSpan("experiments.table2").End()
 	sds, err := r.characterize(stats.StdDev)
 	if err != nil {
 		return nil, err
@@ -255,10 +258,12 @@ func FPWorkloads() []string {
 
 // Table3 regenerates "Integer Average Model Error (%)".
 func (r *Runner) Table3() (*Table, error) {
+	defer telemetry.StartSpan("experiments.table3").End()
 	return r.errorTable("Table 3: Integer Average Model Error (%)", IntegerWorkloads(), PaperTable3)
 }
 
 // Table4 regenerates "Floating-Point Average Model Error (%)".
 func (r *Runner) Table4() (*Table, error) {
+	defer telemetry.StartSpan("experiments.table4").End()
 	return r.errorTable("Table 4: Floating-Point Average Model Error (%)", FPWorkloads(), PaperTable4)
 }

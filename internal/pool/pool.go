@@ -16,6 +16,27 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"time"
+
+	"trickledown/internal/telemetry"
+)
+
+// Pool telemetry is process-wide (all pools feed the same scheduler
+// picture): how much work was asked for, how much is in flight, how long
+// items wait for a slot and how long they run. Items are coarse (whole
+// node runs, whole table simulations), so two time.Now calls per item
+// are noise.
+var (
+	mTasksQueued = telemetry.NewCounter("pool_tasks_queued_total",
+		"work items submitted to a pool (including items abandoned on cancellation)")
+	mTasksCompleted = telemetry.NewCounter("pool_tasks_completed_total",
+		"work items that finished running")
+	mTasksRunning = telemetry.NewGauge("pool_tasks_running",
+		"work items currently holding a pool slot")
+	mQueueWait = telemetry.NewHistogram("pool_queue_wait_seconds",
+		"time from submission to acquiring a pool slot", nil)
+	mTaskDuration = telemetry.NewHistogram("pool_task_duration_seconds",
+		"work item execution time", nil)
 )
 
 // Pool is a bounded parallel executor. The zero value is not usable; use
@@ -60,15 +81,25 @@ func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i in
 	var wg sync.WaitGroup
 dispatch:
 	for i := 0; i < n; i++ {
+		mTasksQueued.Inc()
+		enqueued := time.Now()
 		select {
 		case <-ctx.Done():
 			errs[n] = ctx.Err()
 			break dispatch
 		case p.sem <- struct{}{}:
+			mQueueWait.Observe(time.Since(enqueued).Seconds())
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-p.sem }()
+				mTasksRunning.Add(1)
+				started := time.Now()
+				defer func() {
+					mTaskDuration.Observe(time.Since(started).Seconds())
+					mTasksRunning.Add(-1)
+					mTasksCompleted.Inc()
+				}()
 				errs[i] = fn(ctx, i)
 			}(i)
 		}

@@ -3,6 +3,23 @@ package sim
 import (
 	"context"
 	"time"
+
+	"trickledown/internal/telemetry"
+)
+
+// Engine-level telemetry. The per-slice loop never touches these
+// directly: progress is accumulated in locals and flushed with a few
+// atomic adds at every cancel-check boundary (and at return), so the
+// slice hot path stays free of even atomic traffic.
+var (
+	mSlices = telemetry.NewCounter("sim_slices_total",
+		"simulation slices stepped, across all engines")
+	mSimSeconds = telemetry.NewFloatCounter("sim_seconds_total",
+		"simulated seconds advanced, across all engines")
+	mComponentSteps = telemetry.NewCounter("sim_component_steps_total",
+		"component Step calls (events emitted), across all engines")
+	mEnginesRunning = telemetry.NewGauge("sim_engines_running",
+		"engines currently inside RunSlicesContext")
 )
 
 // Component is a piece of simulated hardware or software that is stepped
@@ -60,8 +77,25 @@ func (e *Engine) RunSlices(n int64) {
 // consistent) when ctx is cancelled. It returns ctx.Err() on
 // cancellation and nil when all n slices ran.
 func (e *Engine) RunSlicesContext(ctx context.Context, n int64) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	mEnginesRunning.Add(1)
+	defer mEnginesRunning.Add(-1)
+	pending := int64(0) // slices run since the last telemetry flush
+	flush := func() {
+		if pending == 0 {
+			return
+		}
+		mSlices.Add(uint64(pending))
+		mComponentSteps.Add(uint64(pending) * uint64(len(e.components)))
+		mSimSeconds.Add(float64(pending) * e.clock.SliceSeconds())
+		pending = 0
+	}
+	defer flush()
 	for i := int64(0); i < n; i++ {
 		if i%cancelCheckSlices == 0 {
+			flush()
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
@@ -72,6 +106,7 @@ func (e *Engine) RunSlicesContext(ctx context.Context, n int64) error {
 			c.Step(e.clock)
 		}
 		e.clock.Tick()
+		pending++
 	}
 	return nil
 }

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// WriteText writes every registered metric in the Prometheus text
+// exposition format (v0.0.4): # HELP / # TYPE headers, one line per
+// sample, histograms as cumulative _bucket series plus _sum and _count.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := &errWriter{w: w}
+	for _, m := range r.metricsInOrder() {
+		m.expose(bw)
+	}
+	return bw.err
+}
+
+// WriteText writes the Default registry; see Registry.WriteText.
+func WriteText(w io.Writer) error { return defaultRegistry.WriteText(w) }
+
+// errWriter remembers the first write error so expose implementations
+// can stay error-blind.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}
+
+// Handler returns the observability mux for r:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/debug/vars    expvar JSON (Go runtime memstats, cmdline)
+//	/debug/pprof/  the standard pprof index, profiles and traces
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintln(w, "trickledown telemetry: /metrics /debug/vars /debug/pprof/")
+	})
+	return mux
+}
+
+// Handler returns the Default registry's observability mux.
+func Handler() http.Handler { return defaultRegistry.Handler() }
+
+// Serve starts the observability server for r on addr (":0" picks a free
+// port) in a background goroutine and returns the bound address. The
+// server lives for the remainder of the process; CLI runs are short and
+// scrapers poll while the run is in flight.
+func (r *Registry) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr(), nil
+}
+
+// Serve starts the Default registry's observability server; see
+// Registry.Serve.
+func Serve(addr string) (net.Addr, error) { return defaultRegistry.Serve(addr) }

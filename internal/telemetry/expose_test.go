@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("served_total", "x").Add(9)
+	addr, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr.String() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "served_total 9") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body = get("/debug/vars")
+	if code != http.StatusOK || !strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d (body %d bytes)", code, len(body))
+	}
+	code, body = get("/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (body %d bytes)", code, len(body))
+	}
+	if code, _ = get("/nope"); code != http.StatusNotFound {
+		t.Errorf("/nope = %d, want 404", code)
+	}
+}
+
+func TestWriteTextPropagatesError(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "x")
+	if err := r.WriteText(failWriter{}); err == nil {
+		t.Error("want write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestSetupLoggerLevels(t *testing.T) {
+	var buf bytes.Buffer
+	logger := SetupLoggerWriter(&buf, false)
+	logger.Debug("hidden")
+	logger.Info("shown")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("info-level output: %q", out)
+	}
+	buf.Reset()
+	logger = SetupLoggerWriter(&buf, true)
+	logger.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Errorf("verbose output: %q", buf.String())
+	}
+}
+
+func TestStartProgressLogsAndStops(t *testing.T) {
+	var mu lockedBuffer
+	logger := slog.New(slog.NewTextHandler(&mu, &slog.HandlerOptions{Level: slog.LevelDebug}))
+	stop := StartProgress(logger, 10*time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for mu.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	out := mu.String()
+	if !strings.Contains(out, "progress") || !strings.Contains(out, "slices_per_sec") {
+		t.Errorf("progress output: %q", out)
+	}
+}
+
+// lockedBuffer is a goroutine-safe bytes.Buffer for the progress test.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

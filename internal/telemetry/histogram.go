@@ -1,0 +1,290 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bounds (seconds), spanning
+// microsecond fold latencies through multi-minute experiment spans.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.025, 0.1, 0.5, 1, 5, 30, 120,
+}
+
+// Histogram counts observations into fixed buckets. Observe is two
+// atomic operations (bucket increment + CAS sum add); quantiles are
+// estimated at read time by linear interpolation inside the bucket that
+// holds the target rank.
+type Histogram struct {
+	desc
+	bounds []float64       // upper bounds, ascending; +Inf implicit
+	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	sum    atomic.Uint64   // float64 bits
+	count  atomic.Uint64
+}
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q bounds not ascending", name))
+		}
+	}
+	return &Histogram{
+		desc:   desc{name, help},
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// NewHistogram registers a histogram on r. Nil or empty bounds use
+// DefBuckets.
+func (r *Registry) NewHistogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds)
+	r.register(h)
+	return h
+}
+
+// NewHistogram registers a histogram on the Default registry.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	return defaultRegistry.NewHistogram(name, help, bounds)
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Bucket lists are short (≤ ~12); a linear scan beats binary search
+	// at this size and keeps the code branch-predictable.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sum, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile estimates the p-quantile (0 < p < 1) from the bucket counts,
+// interpolating linearly within the holding bucket. It returns 0 with no
+// observations. Values in the overflow bucket report the largest finite
+// bound.
+func (h *Histogram) Quantile(p float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	cum := 0.0
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank && c > 0 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) {
+				// Overflow bucket: no finite upper bound to
+				// interpolate toward.
+				return h.bounds[len(h.bounds)-1]
+			}
+			hi := h.bounds[i]
+			return lo + (hi-lo)*(rank-cum)/c
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) kind() Kind { return KindHistogram }
+
+func (h *Histogram) samples(points map[string]float64) {
+	points[h.metricName+"_count"] = float64(h.Count())
+	points[h.metricName+"_sum"] = h.Sum()
+	points[h.metricName+"_p50"] = h.Quantile(0.50)
+	points[h.metricName+"_p95"] = h.Quantile(0.95)
+	points[h.metricName+"_p99"] = h.Quantile(0.99)
+}
+
+func (h *Histogram) expose(w writer) {
+	exposeHeader(w, h)
+	h.exposeSeries(w, "")
+}
+
+// exposeSeries writes the _bucket/_sum/_count lines, with extraLabel
+// (`name="value",` form) spliced into each label set for vec members.
+func (h *Histogram) exposeSeries(w writer, extraLabel string) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", h.metricName, extraLabel, b, cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.metricName, extraLabel, cum)
+	if extraLabel == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", h.metricName, h.Sum())
+		fmt.Fprintf(w, "%s_count %d\n", h.metricName, h.Count())
+	} else {
+		braced := "{" + extraLabel[:len(extraLabel)-1] + "}"
+		fmt.Fprintf(w, "%s_sum%s %g\n", h.metricName, braced, h.Sum())
+		fmt.Fprintf(w, "%s_count%s %d\n", h.metricName, braced, h.Count())
+	}
+}
+
+// CounterVec is a family of counters keyed by one label. With is a
+// read-locked map lookup; hot paths should call it once and cache the
+// returned *Counter.
+type CounterVec struct {
+	desc
+	label string
+	mu    sync.RWMutex
+	m     map[string]*Counter
+}
+
+// NewCounterVec registers a labeled counter family on r.
+func (r *Registry) NewCounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{desc: desc{name, help}, label: label, m: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// NewCounterVec registers a labeled counter family on the Default
+// registry.
+func NewCounterVec(name, help, label string) *CounterVec {
+	return defaultRegistry.NewCounterVec(name, help, label)
+}
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter {
+	v.mu.RLock()
+	c, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok = v.m[value]; ok {
+		return c
+	}
+	c = &Counter{desc: desc{v.metricName, v.metricHelp}}
+	v.m[value] = c
+	return c
+}
+
+func (v *CounterVec) kind() Kind { return KindCounter }
+
+func (v *CounterVec) snapshotMap() map[string]*Counter {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Counter, len(v.m))
+	for k, c := range v.m {
+		out[k] = c
+	}
+	return out
+}
+
+func (v *CounterVec) samples(points map[string]float64) {
+	for val, c := range v.snapshotMap() {
+		points[fmt.Sprintf("%s{%s=%q}", v.metricName, v.label, val)] = float64(c.Value())
+	}
+}
+
+func (v *CounterVec) expose(w writer) {
+	exposeHeader(w, v)
+	m := v.snapshotMap()
+	for _, val := range sortedLabelValues(m) {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.metricName, v.label, val, m[val].Value())
+	}
+}
+
+// HistogramVec is a family of histograms keyed by one label (span
+// durations by span name). Same locking contract as CounterVec.
+type HistogramVec struct {
+	desc
+	label  string
+	bounds []float64
+	mu     sync.RWMutex
+	m      map[string]*Histogram
+}
+
+// NewHistogramVec registers a labeled histogram family on r. Nil or
+// empty bounds use DefBuckets.
+func (r *Registry) NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	v := &HistogramVec{
+		desc:   desc{name, help},
+		label:  label,
+		bounds: append([]float64(nil), bounds...),
+		m:      make(map[string]*Histogram),
+	}
+	r.register(v)
+	return v
+}
+
+// NewHistogramVec registers a labeled histogram family on the Default
+// registry.
+func NewHistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	return defaultRegistry.NewHistogramVec(name, help, label, bounds)
+}
+
+// With returns the histogram for the given label value, creating it on
+// first use.
+func (v *HistogramVec) With(value string) *Histogram {
+	v.mu.RLock()
+	h, ok := v.m[value]
+	v.mu.RUnlock()
+	if ok {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h, ok = v.m[value]; ok {
+		return h
+	}
+	h = newHistogram(v.metricName, v.metricHelp, v.bounds)
+	v.m[value] = h
+	return h
+}
+
+func (v *HistogramVec) kind() Kind { return KindHistogram }
+
+func (v *HistogramVec) snapshotMap() map[string]*Histogram {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[string]*Histogram, len(v.m))
+	for k, h := range v.m {
+		out[k] = h
+	}
+	return out
+}
+
+func (v *HistogramVec) samples(points map[string]float64) {
+	for val, h := range v.snapshotMap() {
+		base := fmt.Sprintf("%s{%s=%q}", v.metricName, v.label, val)
+		points[base+"_count"] = float64(h.Count())
+		points[base+"_sum"] = h.Sum()
+		points[base+"_p50"] = h.Quantile(0.50)
+		points[base+"_p95"] = h.Quantile(0.95)
+		points[base+"_p99"] = h.Quantile(0.99)
+	}
+}
+
+func (v *HistogramVec) expose(w writer) {
+	exposeHeader(w, v)
+	m := v.snapshotMap()
+	for _, val := range sortedLabelValues(m) {
+		m[val].exposeSeries(w, fmt.Sprintf("%s=%q,", v.label, val))
+	}
+}

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"time"
+)
+
+// SetupLogger installs (and returns) the process slog default: a text
+// handler on stderr at Info level, or Debug when verbose. The CLIs call
+// it once from main; status lines go through slog so they are leveled
+// and structured while actual results stay on stdout.
+func SetupLogger(verbose bool) *slog.Logger {
+	return SetupLoggerWriter(os.Stderr, verbose)
+}
+
+// SetupLoggerWriter is SetupLogger with an explicit sink, for tests.
+func SetupLoggerWriter(w io.Writer, verbose bool) *slog.Logger {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+	return logger
+}
+
+// progressKeys are the registry samples the periodic progress line
+// reports: enough to see slice throughput, pool saturation, estimator
+// drift inputs and DAQ activity at a glance without scraping /metrics.
+var progressKeys = []string{
+	"sim_slices_total",
+	"sim_seconds_total",
+	"pool_tasks_running",
+	"pool_tasks_completed_total",
+	"experiments_cache_hits_total",
+	"experiments_cache_misses_total",
+	"daq_samples_total",
+	"spans_active",
+}
+
+// StartProgress launches a goroutine that logs a Debug-level progress
+// line from the Default registry every interval, including the
+// per-interval slice rate. The returned stop function cancels the loop
+// and waits for it to exit; call it before process teardown.
+func StartProgress(logger *slog.Logger, interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 2 * time.Second
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		lastSlices := Snapshot()["sim_slices_total"]
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			snap := Snapshot()
+			args := make([]any, 0, 2*len(progressKeys)+2)
+			for _, k := range progressKeys {
+				if v, ok := snap[k]; ok {
+					args = append(args, k, v)
+				}
+			}
+			slices := snap["sim_slices_total"]
+			args = append(args, "slices_per_sec", (slices-lastSlices)/interval.Seconds())
+			lastSlices = slices
+			logger.Debug("progress", args...)
+		}
+	}()
+	return func() {
+		cancel()
+		<-done
+	}
+}

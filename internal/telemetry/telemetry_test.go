@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	f := r.NewFloatCounter("f_total", "a float counter")
+	f.Add(1.5)
+	f.Add(0.25)
+	if got := f.Value(); got != 1.75 {
+		t.Errorf("float counter = %g, want 1.75", got)
+	}
+	g := r.NewGauge("g", "a gauge")
+	g.Set(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Errorf("gauge = %g, want 2", got)
+	}
+	snap := r.Snapshot()
+	for k, want := range map[string]float64{"c_total": 5, "f_total": 1.75, "g": 2} {
+		if snap[k] != want {
+			t.Errorf("snapshot[%s] = %g, want %g", k, snap[k], want)
+		}
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("dup", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.NewCounter("dup", "x")
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("cc_total", "x")
+	f := r.NewFloatCounter("cf_total", "x")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if math.Abs(f.Value()-4000) > 1e-9 {
+		t.Errorf("float counter = %g, want 4000", f.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("h_seconds", "x", []float64{0.01, 0.1, 1, 10})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.05) // all in the (0.01, 0.1] bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if math.Abs(h.Sum()-5) > 1e-9 {
+		t.Errorf("sum = %g, want 5", h.Sum())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0.01 || p50 > 0.1 {
+		t.Errorf("p50 = %g, want within (0.01, 0.1]", p50)
+	}
+	// Overflow bucket reports the largest finite bound.
+	h.Observe(1e6)
+	if q := h.Quantile(0.9999); q != 10 {
+		t.Errorf("overflow quantile = %g, want 10", q)
+	}
+	// Empty histogram.
+	e := r.NewHistogram("e_seconds", "x", nil)
+	if q := e.Quantile(0.5); q != 0 {
+		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+func TestHistogramBadBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-ascending bounds did not panic")
+		}
+	}()
+	NewRegistry().NewHistogram("bad", "x", []float64{1, 1})
+}
+
+func TestVecs(t *testing.T) {
+	r := NewRegistry()
+	cv := r.NewCounterVec("jobs_total", "x", "kind")
+	cv.With("a").Add(2)
+	cv.With("b").Inc()
+	if cv.With("a") != cv.With("a") {
+		t.Error("With not idempotent")
+	}
+	hv := r.NewHistogramVec("dur_seconds", "x", "kind", []float64{1, 10})
+	hv.With("a").Observe(0.5)
+	hv.With("a").Observe(5)
+	snap := r.Snapshot()
+	if snap[`jobs_total{kind="a"}`] != 2 || snap[`jobs_total{kind="b"}`] != 1 {
+		t.Errorf("counter vec snapshot: %v", snap)
+	}
+	if snap[`dur_seconds{kind="a"}_count`] != 2 {
+		t.Errorf("histogram vec snapshot: %v", snap)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("a_total", "counts a").Add(3)
+	r.NewGauge("b", "gauges b").Set(1.5)
+	h := r.NewHistogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(50)
+	cv := r.NewCounterVec("ops_total", "ops", "op")
+	cv.With("read").Add(7)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP a_total counts a",
+		"# TYPE a_total counter",
+		"a_total 3",
+		"# TYPE b gauge",
+		"b 1.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_count 3",
+		`ops_total{op="read"} 7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	before := Snapshot()["spans_active"]
+	sp := StartSpan("test.span")
+	during := Snapshot()["spans_active"]
+	if during != before+1 {
+		t.Errorf("spans_active during = %g, want %g", during, before+1)
+	}
+	if d := sp.End(); d < 0 {
+		t.Errorf("duration = %v", d)
+	}
+	snap := Snapshot()
+	if snap["spans_active"] != before {
+		t.Errorf("spans_active after = %g, want %g", snap["spans_active"], before)
+	}
+	if snap[`spans_started_total{span="test.span"}`] < 1 {
+		t.Error("span start not counted")
+	}
+	if snap[`span_duration_seconds{span="test.span"}_count`] < 1 {
+		t.Error("span duration not observed")
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().NewCounter("bench_total", "x")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().NewHistogram("bench_seconds", "x", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.003)
+	}
+}

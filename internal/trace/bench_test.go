@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAppend10kSamples builds a 10k-sample trace through the
+// Append path at several series widths. Before the name→index map,
+// every Append rescanned the series slice, making wide traces
+// O(series²·samples); with the map each Append is a constant-time
+// lookup, so ns/op should stay flat as series count grows.
+func BenchmarkAppend10kSamples(b *testing.B) {
+	for _, nseries := range []int{2, 16, 64} {
+		b.Run(fmt.Sprintf("series=%d", nseries), func(b *testing.B) {
+			names := make([]string, nseries)
+			for i := range names {
+				names[i] = fmt.Sprintf("series-%03d", i)
+			}
+			samples := 10000 / nseries // ~10k total appends per iteration
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr := New("bench")
+				for s := 0; s < samples; s++ {
+					for _, name := range names {
+						tr.Append(name, float64(s))
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSeriesLookup measures the by-name lookup on a wide trace —
+// the other former linear scan.
+func BenchmarkSeriesLookup(b *testing.B) {
+	tr := New("bench")
+	var last string
+	for i := 0; i < 64; i++ {
+		last = fmt.Sprintf("series-%03d", i)
+		tr.Append(last, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.Series(last) == nil {
+			b.Fatal("missing series")
+		}
+	}
+}

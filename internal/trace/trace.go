@@ -1,6 +1,15 @@
 // Package trace records named time series produced by experiments (the
 // measured and modeled power traces behind the paper's figures) and
 // renders them as CSV or as ASCII plots for terminal inspection.
+//
+// # Concurrency contract
+//
+// A Trace is NOT safe for concurrent use: Add, Append and the renderers
+// take no locks. The parallel experiment runner is safe only because
+// every table/figure generation builds its own Trace — series are never
+// shared across goroutines. Keep it that way: construct per-goroutine
+// Traces and merge (or render) after joining, rather than appending to
+// one Trace from multiple workers.
 package trace
 
 import (
@@ -8,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strconv"
 	"strings"
 )
 
@@ -21,26 +31,35 @@ type Series struct {
 	Values []float64
 }
 
-// Trace is a set of series sharing a time base.
+// Trace is a set of series sharing a time base. It is not safe for
+// concurrent use; see the package comment.
 type Trace struct {
 	// Title names the experiment, e.g. "Figure 5: Memory Power (Bus) - mcf".
 	Title  string
 	series []*Series
+	// index maps series name to its position in series, so Add/Append
+	// stay O(1) per call instead of rescanning the series list (which
+	// made building wide multi-series traces O(series²·samples)).
+	// Insertion order — what CSV columns and plot legends use — is
+	// still carried by the slice.
+	index map[string]int
 }
 
 // New returns an empty trace with the given title.
 func New(title string) *Trace {
-	return &Trace{Title: title}
+	return &Trace{Title: title, index: make(map[string]int)}
 }
 
 // Add creates (or returns the existing) series with the given name.
 func (t *Trace) Add(name string) *Series {
-	for _, s := range t.series {
-		if s.Name == name {
-			return s
-		}
+	if t.index == nil {
+		t.index = make(map[string]int)
+	}
+	if i, ok := t.index[name]; ok {
+		return t.series[i]
 	}
 	s := &Series{Name: name}
+	t.index[name] = len(t.series)
 	t.series = append(t.series, s)
 	return s
 }
@@ -53,10 +72,8 @@ func (t *Trace) Append(name string, v float64) {
 
 // Series returns the named series, or nil if absent.
 func (t *Trace) Series(name string) *Series {
-	for _, s := range t.series {
-		if s.Name == name {
-			return s
-		}
+	if i, ok := t.index[name]; ok {
+		return t.series[i]
 	}
 	return nil
 }
@@ -81,11 +98,42 @@ func (t *Trace) Len() int {
 	return n
 }
 
-// WriteCSV writes the trace as CSV with a leading seconds column. Short
-// series are padded with empty cells.
+// CSVOptions controls the time column WriteCSVOpts emits. The paper's
+// figures sample at 1 Hz starting at second 1, which is the WriteCSV
+// default; telemetry-derived series (scraped at other cadences, or
+// starting at zero) set an explicit base instead of inheriting it.
+type CSVOptions struct {
+	// StartSecond is the time value of the first row. Zero is a valid
+	// start; use DefaultCSVOptions (or plain WriteCSV) for the paper's
+	// 1-based column.
+	StartSecond float64
+	// Rate is the sample rate in rows per second; non-positive means
+	// 1 Hz. Row i carries time StartSecond + i/Rate.
+	Rate float64
+}
+
+// DefaultCSVOptions reproduces WriteCSV's historical time base: 1 Hz
+// samples labeled 1, 2, 3, ...
+func DefaultCSVOptions() CSVOptions {
+	return CSVOptions{StartSecond: 1, Rate: 1}
+}
+
+// WriteCSV writes the trace as CSV with a leading seconds column on the
+// paper's 1 Hz, 1-based time base. Short series are padded with empty
+// cells.
 func (t *Trace) WriteCSV(w io.Writer) error {
+	return t.WriteCSVOpts(w, DefaultCSVOptions())
+}
+
+// WriteCSVOpts is WriteCSV with an explicit time base. With
+// DefaultCSVOptions the output is byte-for-byte identical to WriteCSV.
+func (t *Trace) WriteCSVOpts(w io.Writer, opt CSVOptions) error {
 	if len(t.series) == 0 {
 		return ErrNoSeries
+	}
+	rate := opt.Rate
+	if rate <= 0 {
+		rate = 1
 	}
 	cols := make([]string, 0, len(t.series)+1)
 	cols = append(cols, "seconds")
@@ -98,7 +146,7 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 	n := t.Len()
 	row := make([]string, len(t.series)+1)
 	for i := 0; i < n; i++ {
-		row[0] = fmt.Sprintf("%d", i+1)
+		row[0] = strconv.FormatFloat(opt.StartSecond+float64(i)/rate, 'g', -1, 64)
 		for j, s := range t.series {
 			if i < len(s.Values) {
 				row[j+1] = fmt.Sprintf("%.4f", s.Values[i])

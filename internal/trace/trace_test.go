@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -136,4 +137,157 @@ func TestWriteASCIISingleSample(t *testing.T) {
 	if err := tr.WriteASCII(&buf, PlotOptions{Width: 10, Height: 4}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+func TestWriteCSVOptsDefaultByteIdentical(t *testing.T) {
+	tr := New("test")
+	for i := 0; i < 100; i++ {
+		tr.Append("a", float64(i)*1.25)
+		tr.Append("b", float64(i)*-0.5)
+	}
+	tr.Append("a", 7) // leave b one short to exercise padding
+	var classic, opts bytes.Buffer
+	if err := tr.WriteCSV(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteCSVOpts(&opts, DefaultCSVOptions()); err != nil {
+		t.Fatal(err)
+	}
+	if classic.String() != opts.String() {
+		t.Errorf("default WriteCSVOpts differs from WriteCSV:\n%q\nvs\n%q",
+			classic.String(), opts.String())
+	}
+}
+
+func TestWriteCSVOptsCustomTimeBase(t *testing.T) {
+	tr := New("telemetry")
+	for i := 0; i < 4; i++ {
+		tr.Append("w", float64(i))
+	}
+	var buf bytes.Buffer
+	// A 2 Hz series starting at second 0 — a scraped telemetry cadence.
+	if err := tr.WriteCSVOpts(&buf, CSVOptions{StartSecond: 0, Rate: 2}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"0", "0.5", "1", "1.5"}
+	for i, w := range want {
+		if got := strings.SplitN(lines[i+1], ",", 2)[0]; got != w {
+			t.Errorf("row %d time = %q, want %q", i, got, w)
+		}
+	}
+	// Zero-value options fall back to 1 Hz starting at 0.
+	buf.Reset()
+	if err := tr.WriteCSVOpts(&buf, CSVOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if row1 := strings.SplitN(strings.Split(buf.String(), "\n")[1], ",", 2)[0]; row1 != "0" {
+		t.Errorf("zero-value opts first time = %q, want 0", row1)
+	}
+}
+
+func TestCSVEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"with,comma", `"with,comma"`},
+		{`with"quote`, `"with""quote"`},
+		{"with\nnewline", "\"with\nnewline\""},
+		{`all,"of
+it`, "\"all,\"\"of\nit\""},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := csvEscape(c.in); got != c.want {
+			t.Errorf("csvEscape(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteASCIIEmptySeriesOnly(t *testing.T) {
+	// A trace whose only series has no values: Len()==0 must be
+	// reported as ErrNoSeries, not render an empty grid.
+	tr := New("hollow")
+	tr.Add("a")
+	var buf bytes.Buffer
+	if err := tr.WriteASCII(&buf, PlotOptions{}); !errors.Is(err, ErrNoSeries) {
+		t.Errorf("err = %v, want ErrNoSeries", err)
+	}
+}
+
+func TestWriteASCIIAllEqualValues(t *testing.T) {
+	tr := New("flatline")
+	for i := 0; i < 10; i++ {
+		tr.Append("a", 42)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteASCII(&buf, PlotOptions{Width: 20, Height: 5}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The degenerate range is widened to [42, 43]: glyphs land on the
+	// bottom row and the axis label must not be [42.0, 42.0].
+	if !strings.Contains(out, "y:[42.0, 43.0]W") {
+		t.Errorf("flat-range axis label missing: %q", out)
+	}
+	rows := strings.Split(strings.TrimSpace(out), "\n")
+	if bottom := rows[len(rows)-1]; !strings.Contains(bottom, "*") {
+		t.Errorf("flat series not on bottom row: %q", bottom)
+	}
+}
+
+func TestWriteASCIIDimensionClamping(t *testing.T) {
+	tr := New("clamp")
+	tr.Append("a", 1)
+	tr.Append("a", 2)
+	for _, opt := range []PlotOptions{
+		{Width: 0, Height: 0},   // defaults: 100 x 20
+		{Width: -5, Height: -5}, // negative also defaults
+		{Width: 1, Height: 1},   // degenerate but must not panic
+	} {
+		var buf bytes.Buffer
+		if err := tr.WriteASCII(&buf, opt); err != nil {
+			t.Fatalf("opts %+v: %v", opt, err)
+		}
+		rows := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		wantW, wantH := opt.Width, opt.Height
+		if wantW <= 0 {
+			wantW = 100
+		}
+		if wantH <= 0 {
+			wantH = 20
+		}
+		if got := len(rows) - 2; got != wantH {
+			t.Errorf("opts %+v: %d plot rows, want %d", opt, got, wantH)
+		}
+		if got := len(rows[2]) - 2; got != wantW {
+			t.Errorf("opts %+v: row width %d, want %d", opt, got, wantW)
+		}
+	}
+}
+
+// TestPerGoroutineTracesRace is the -race regression guard for the
+// documented concurrency contract: parallel experiment code builds one
+// Trace per goroutine and never shares it, so building and rendering
+// many traces concurrently must be race-clean.
+func TestPerGoroutineTracesRace(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr := New("goroutine-local")
+			for i := 0; i < 1000; i++ {
+				tr.Append("measured", float64(i+g))
+				tr.Append("modeled", float64(i-g))
+			}
+			var buf bytes.Buffer
+			if err := tr.WriteCSV(&buf); err != nil {
+				t.Error(err)
+			}
+			if err := tr.WriteASCII(&buf, PlotOptions{Width: 30, Height: 8}); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
 }
