@@ -11,6 +11,7 @@
 //	tdpower -record trace.csv ...     # save the aligned power+counter log
 //	tdpower -replay trace.csv ...     # analyze a recorded log instead of simulating
 //	tdpower -metrics-addr :9090 ...   # live /metrics, /debug/vars and /debug/pprof
+//	tdpower -chaos [-chaos-seed 1]    # inject sensor faults, recover via the robust merge
 //	tdpower -list
 //
 // The -percpu flag adds the Equation 1 per-processor attribution, the
@@ -30,6 +31,7 @@ import (
 	"trickledown/internal/align"
 	"trickledown/internal/core"
 	"trickledown/internal/experiments"
+	"trickledown/internal/faults"
 	"trickledown/internal/machine"
 	"trickledown/internal/perfctr"
 	"trickledown/internal/power"
@@ -57,6 +59,8 @@ func main() {
 	record := flag.String("record", "", "write the aligned power+counter log to this CSV file")
 	replay := flag.String("replay", "", "analyze a recorded CSV log instead of simulating")
 	workers := flag.Int("workers", 0, "max concurrent training simulations (0 = GOMAXPROCS)")
+	chaos := flag.Bool("chaos", false, "inject deterministic sensor faults (dropped syncs, a DAQ dropout, rare counter glitches) and recover via the robust merge")
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos fault schedule")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; empty = off)")
 	verbose := flag.Bool("v", false, "debug-level logging with periodic progress lines")
 	flag.Parse()
@@ -122,10 +126,23 @@ func main() {
 			}
 			label = spec.Name
 		}
+		if *chaos {
+			plan := chaosPlan(*chaosSeed, *seconds)
+			faults.Attach(plan, "local", srv)
+			logger.Info("chaos enabled", "seed", *chaosSeed, "specs", len(plan.Specs))
+		}
 		logger.Info("running workload", "workload", label, "seconds", *seconds,
 			"cpus", cfg.NumCPUs, "threads_per_cpu", cfg.ThreadsPerCPU, "disks", cfg.NumDisks)
 		srv.Run(*seconds)
-		if ds, err = srv.Dataset(); err != nil {
+		if *chaos {
+			// The strict merge would refuse the degraded logs; the robust
+			// path repairs them and reports what it had to do.
+			var quality align.Quality
+			if ds, quality, err = srv.DatasetRobust(); err != nil {
+				log.Fatal(err)
+			}
+			logger.Info("data quality", "degraded", quality.Degraded(), "summary", quality.String())
+		} else if ds, err = srv.Dataset(); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -181,6 +198,17 @@ func main() {
 		}
 		fmt.Printf("  %-8s %6.2f%%   (mean measured %.1f W)\n", s, e, stats.Mean(measured))
 	}
+}
+
+// chaosPlan builds the -chaos fault schedule: recoverable sensor-chain
+// faults only (no crash — the meter should finish its run and show the
+// repair), deterministic in the seed.
+func chaosPlan(seed uint64, seconds float64) *faults.Plan {
+	return &faults.Plan{Seed: seed, Specs: []faults.Spec{
+		{Kind: faults.SyncDrop, Start: 0, Magnitude: 0.1},
+		{Kind: faults.DAQDropout, Channel: power.SubMemory, Start: seconds * 0.3, Duration: 2},
+		{Kind: faults.CounterGlitch, CPU: -1, Start: 0, Magnitude: 0.01},
+	}}
 }
 
 // parsePlacements parses "workload:thread[:startSec]" items.

@@ -103,4 +103,8 @@ func main() {
 	if !ran {
 		log.Fatalf("unknown -table %q", *table)
 	}
+	// Cells that failed render as n/a; say why, once, at the end.
+	if err := r.CellErrors(); err != nil {
+		logger.Warn("some cells degraded to n/a", "err", err)
+	}
 }

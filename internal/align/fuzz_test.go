@@ -2,9 +2,83 @@ package align
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"strings"
 	"testing"
+
+	"trickledown/internal/daq"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
 )
+
+// encodeTimes packs float64s into the byte form the MergeRobust fuzzer
+// decodes, so malformed-log scenarios can be written down as seeds.
+func encodeTimes(ts ...float64) []byte {
+	out := make([]byte, 0, 8*len(ts))
+	for _, t := range ts {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(t))
+	}
+	return out
+}
+
+// FuzzMergeRobust throws arbitrarily corrupted DAQ and counter logs at
+// the robust merge: whatever the corruption — duplicate sync edges,
+// out-of-order or non-finite timestamps, NaN power windows — it must
+// never panic, and anything it accepts must be finite-powered with
+// strictly increasing timestamps and an accounting that adds up.
+func FuzzMergeRobust(f *testing.F) {
+	// Seeds: clean pairing, duplicate sync edges, out-of-order DAQ
+	// timestamps, NaN power readings, stuck target clock, disjoint logs.
+	f.Add(encodeTimes(1, 2, 3), encodeTimes(1, 2, 3))
+	f.Add(encodeTimes(1, 2, 2.01, 3), encodeTimes(1, 2, 3))          // duplicate sync edge
+	f.Add(encodeTimes(1, 3, 2, 4), encodeTimes(1, 2, 3, 4))          // out-of-order DAQ log
+	f.Add(encodeTimes(1, math.NaN(), 3), encodeTimes(1, 2, 3))       // NaN reading/timestamp
+	f.Add(encodeTimes(1, 2, 3, 4), encodeTimes(1, 2, 2, 3))          // stuck target clock
+	f.Add(encodeTimes(1, 2), encodeTimes(1001, 1002))                // disjoint logs
+	f.Add(encodeTimes(math.Inf(1), math.Inf(-1)), encodeTimes(1, 2)) // infinite timestamps
+	f.Fuzz(func(t *testing.T, recBytes, smpBytes []byte) {
+		var recs []daq.Record
+		for i := 0; i+8 <= len(recBytes) && len(recs) < 256; i += 8 {
+			ts := math.Float64frombits(binary.LittleEndian.Uint64(recBytes[i : i+8]))
+			r := daq.Record{DAQSeconds: ts, Samples: int64(recBytes[i] % 16)}
+			// Derive per-rail power from the same bits; NaN timestamps
+			// double as NaN readings so dead-channel windows appear too.
+			for rail := range r.Mean {
+				r.Mean[rail] = ts / float64(rail+1)
+			}
+			recs = append(recs, r)
+		}
+		var smps []perfctr.Sample
+		for i := 0; i+8 <= len(smpBytes) && len(smps) < 256; i += 8 {
+			ts := math.Float64frombits(binary.LittleEndian.Uint64(smpBytes[i : i+8]))
+			smps = append(smps, perfctr.Sample{TargetSeconds: ts, IntervalSec: 1})
+		}
+		ds, q, err := MergeRobust(recs, smps)
+		if err != nil {
+			return
+		}
+		if ds.Len() == 0 {
+			t.Fatal("accepted merge returned zero rows without error")
+		}
+		if got := q.Matched + q.Interpolated; ds.Len() != got {
+			t.Fatalf("len %d != matched %d + interpolated %d", ds.Len(), q.Matched, q.Interpolated)
+		}
+		last := math.Inf(-1)
+		for i := range ds.Rows {
+			if ts := ds.Rows[i].Counters.TargetSeconds; ts <= last {
+				t.Fatalf("row %d timestamp %v not increasing", i, ts)
+			} else {
+				last = ts
+			}
+			for _, s := range power.Subsystems() {
+				if v := ds.Rows[i].Power[s]; math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("row %d rail %v non-finite: %v", i, s, v)
+				}
+			}
+		}
+	})
+}
 
 // FuzzReadCSV ensures arbitrary input never panics the reader and that
 // anything it accepts round-trips back to identical CSV.

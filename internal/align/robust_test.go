@@ -1,0 +1,211 @@
+package align
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"trickledown/internal/daq"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// mkLogs builds a clean n-window DAQ log and matching counter log at a
+// 1 Hz nominal period, with per-window distinguishable power.
+func mkLogs(n int) ([]daq.Record, []perfctr.Sample) {
+	recs := make([]daq.Record, n)
+	smps := make([]perfctr.Sample, n)
+	for i := 0; i < n; i++ {
+		t := float64(i + 1)
+		recs[i] = daq.Record{
+			DAQSeconds: t * (1 + 40e-6), // the instrument's ppm skew
+			Mean:       power.Reading{100 + float64(i), 20, 35, 30, 21},
+			Samples:    10000,
+		}
+		smps[i] = perfctr.Sample{
+			TargetSeconds: t,
+			IntervalSec:   1,
+			CPUs:          []perfctr.CPUCounts{{Cycles: 1000 + uint64(i)}},
+		}
+	}
+	return recs, smps
+}
+
+// TestMergeRobustCleanEqualsMerge locks the zero-fault contract: on a
+// healthy pair of logs the robust path returns row-for-row what the
+// strict path returns, and reports nothing degraded.
+func TestMergeRobustCleanEqualsMerge(t *testing.T) {
+	recs, smps := mkLogs(20)
+	strict, err := Merge(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	robust, q, err := MergeRobust(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Degraded() {
+		t.Errorf("clean input reported degraded: %v", q)
+	}
+	if q.Matched != 20 || q.Samples != 20 {
+		t.Errorf("quality = %v, want 20/20 matched", q)
+	}
+	if !reflect.DeepEqual(strict, robust) {
+		t.Errorf("robust merge diverged from strict merge on clean input")
+	}
+}
+
+func TestMergeRobustDroppedSyncInterpolates(t *testing.T) {
+	recs, smps := mkLogs(10)
+	// A dropped sync pulse: window 5 never closed. (The real instrument
+	// would fold its charge into window 6; losing it entirely is the
+	// harsher case.)
+	recs = append(recs[:5], recs[6:]...)
+	ds, q, err := MergeRobust(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 10 {
+		t.Fatalf("len = %d, want all 10 samples kept", ds.Len())
+	}
+	if q.Interpolated != 1 || q.Dropped != 0 {
+		t.Errorf("quality = %v, want exactly 1 interpolated row", q)
+	}
+	// Row 5's power is the midpoint of its neighbors.
+	want := (ds.Rows[4].Power[power.SubCPU] + ds.Rows[6].Power[power.SubCPU]) / 2
+	if got := ds.Rows[5].Power[power.SubCPU]; math.Abs(got-want) > 1e-9 {
+		t.Errorf("interpolated CPU power = %v, want %v", got, want)
+	}
+	// The counters of the repaired row are the original sample's.
+	if ds.Rows[5].Counters.CPUs[0].Cycles != 1005 {
+		t.Errorf("repaired row lost its counter sample")
+	}
+}
+
+func TestMergeRobustLongGapDrops(t *testing.T) {
+	recs, smps := mkLogs(12)
+	// Four consecutive windows lost: beyond repair, those samples go.
+	recs = append(recs[:4], recs[8:]...)
+	ds, q, err := MergeRobust(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 8 {
+		t.Fatalf("len = %d, want 8 (4 dropped)", ds.Len())
+	}
+	if q.Dropped != 4 || q.Interpolated != 0 {
+		t.Errorf("quality = %v, want 4 dropped, 0 interpolated", q)
+	}
+}
+
+func TestMergeRobustDuplicateSyncEdges(t *testing.T) {
+	recs, smps := mkLogs(8)
+	// A spurious pulse 10 ms after window 3's real edge closes a tiny
+	// 100-sample window with garbage-ish power.
+	spur := daq.Record{
+		DAQSeconds: recs[3].DAQSeconds + 0.01,
+		Mean:       power.Reading{500, 500, 500, 500, 500},
+		Samples:    100,
+	}
+	recs = append(recs[:4], append([]daq.Record{spur}, recs[4:]...)...)
+	ds, q, err := MergeRobust(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.DupSyncs != 1 {
+		t.Fatalf("quality = %v, want 1 collapsed duplicate", q)
+	}
+	if ds.Len() != 8 {
+		t.Fatalf("len = %d, want 8", ds.Len())
+	}
+	// Window 3's mean moved toward the spurious reading by its sample
+	// weight (100 of 10100), not replaced by it.
+	got := ds.Rows[3].Power[power.SubCPU]
+	want := (10000*103.0 + 100*500.0) / 10100
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("collapsed window mean = %v, want %v", got, want)
+	}
+}
+
+func TestMergeRobustOutOfOrderRecords(t *testing.T) {
+	recs, smps := mkLogs(10)
+	recs[2], recs[3] = recs[3], recs[2]
+	ds, q, err := MergeRobust(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.OutOfOrder == 0 {
+		t.Errorf("out-of-order records not reported: %v", q)
+	}
+	if ds.Len() != 10 || q.Matched != 10 {
+		t.Errorf("reordering lost rows: len=%d quality=%v", ds.Len(), q)
+	}
+	for i := 1; i < ds.Len(); i++ {
+		if ds.Rows[i].Power[power.SubCPU] < ds.Rows[i-1].Power[power.SubCPU] {
+			t.Fatalf("rows not re-sorted into time order")
+		}
+	}
+}
+
+func TestMergeRobustNaNWindows(t *testing.T) {
+	recs, smps := mkLogs(10)
+	recs[4].Mean[power.SubMemory] = math.NaN()
+	recs[7].Mean[power.SubIO] = math.Inf(1)
+	ds, q, err := MergeRobust(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BadWindows != 2 {
+		t.Fatalf("quality = %v, want 2 bad windows", q)
+	}
+	if q.Interpolated != 2 {
+		t.Errorf("quality = %v, want both bad windows repaired", q)
+	}
+	for i := range ds.Rows {
+		for _, v := range ds.Rows[i].Power {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite power survived the robust merge at row %d", i)
+			}
+		}
+	}
+}
+
+func TestMergeRobustBrokenTimebases(t *testing.T) {
+	recs, smps := mkLogs(10)
+	smps[3].TargetSeconds = smps[2].TargetSeconds // stuck target clock
+	recs[6].DAQSeconds = math.NaN()               // corrupt DAQ timestamp
+	ds, q, err := MergeRobust(recs, smps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Dropped == 0 || q.BadWindows != 1 {
+		t.Errorf("quality = %v, want the stuck sample dropped and 1 bad window", q)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("no rows survived")
+	}
+	var last float64
+	for i := range ds.Rows {
+		if ts := ds.Rows[i].Counters.TargetSeconds; ts <= last {
+			t.Fatalf("non-increasing timestamps survived at row %d", i)
+		} else {
+			last = ts
+		}
+	}
+}
+
+// TestMergeRobustNothingSalvageable checks disjoint logs error instead
+// of fabricating a dataset.
+func TestMergeRobustNothingSalvageable(t *testing.T) {
+	recs, _ := mkLogs(5)
+	_, smps := mkLogs(5)
+	for i := range smps {
+		smps[i].TargetSeconds += 1000 // the two machines never overlapped
+	}
+	if _, _, err := MergeRobust(recs, smps); err == nil {
+		t.Fatal("want error for disjoint logs")
+	}
+	if _, _, err := MergeRobust(nil, nil); err == nil {
+		t.Fatal("want error for empty logs")
+	}
+}

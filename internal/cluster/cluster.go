@@ -24,6 +24,19 @@
 // other; Snapshot, VerifyAccuracy and the per-node means may be called
 // concurrently with a running Run and observe each node's last fully
 // folded state.
+//
+// # Fault model
+//
+// A node that fails a run — its machine crashes, its stepping worker
+// panics, or its logs stop aligning — is quarantined rather than
+// aborting the whole run: its pre-failure samples are kept, its means
+// return ErrNodeFailed, later runs skip it, and Snapshot/VerifyAccuracy
+// report over the healthy survivors (Coverage says how much of the
+// cluster that is). Cancellation is not a fault: a node stopped by ctx
+// keeps running next time. SetRetry adds per-node retries with backoff
+// before a failure is declared; InjectFaults wires a deterministic
+// chaos plan (internal/faults) into every node for testing all of the
+// above.
 package cluster
 
 import (
@@ -36,6 +49,7 @@ import (
 
 	"trickledown/internal/align"
 	"trickledown/internal/core"
+	"trickledown/internal/faults"
 	"trickledown/internal/machine"
 	"trickledown/internal/pool"
 	"trickledown/internal/stats"
@@ -55,18 +69,31 @@ var (
 		"counter samples folded into node means")
 	mFoldLatency = telemetry.NewHistogram("cluster_fold_seconds",
 		"per-node fold latency (dataset merge to accumulated means)", nil)
+	mNodeFailures = telemetry.NewCounter("cluster_nodes_quarantined_total",
+		"nodes quarantined after a failed run (crash, panic or unalignable logs)")
+	mNodePanics = telemetry.NewCounter("cluster_node_panics_recovered_total",
+		"panics recovered while stepping a node, converted to quarantine")
+	gQuarantined = telemetry.NewGauge("cluster_quarantined_nodes",
+		"nodes currently quarantined")
 )
 
 // ErrNoSamples is returned when a node has not produced counter samples
 // yet.
 var ErrNoSamples = errors.New("cluster: node has no samples")
 
+// ErrNodeFailed is wrapped by every error involving a quarantined node:
+// its means, and a Snapshot taken after the whole cluster has failed.
+var ErrNodeFailed = errors.New("cluster: node failed")
+
 // Node is one managed server.
 type Node struct {
 	// Name identifies the node in plans and reports.
 	Name string
 	srv  *machine.Server
-	seen int
+	// lastT is the counter timestamp of the last folded row. Folding by
+	// timestamp (not row index) keeps resumed folds correct when the
+	// robust merge later interpolates rows into an earlier gap.
+	lastT float64
 
 	// mu guards the fold accumulators below, so readers (Snapshot,
 	// VerifyAccuracy) are safe against the worker currently folding this
@@ -76,6 +103,9 @@ type Node struct {
 	estSum  float64
 	measSum float64
 	n       int
+	// err, once set, marks the node quarantined; see quarantine.
+	err     error
+	quality align.Quality
 }
 
 // Cluster manages a set of nodes with one shared estimator (the paper's
@@ -83,9 +113,11 @@ type Node struct {
 type Cluster struct {
 	est *core.Estimator
 
-	mu    sync.Mutex // guards nodes and p
+	mu    sync.Mutex // guards nodes, p, retry and plan
 	nodes []*Node
 	p     *pool.Pool
+	retry pool.Retry
+	plan  *faults.Plan
 
 	runMu sync.Mutex // serializes Run calls; a Server is not reentrant
 }
@@ -114,6 +146,42 @@ func (c *Cluster) Workers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.p.Workers()
+}
+
+// SetRetry makes Run retry a failed node step (with pool's capped
+// exponential backoff) before declaring the node failed. The zero Retry
+// restores single-attempt stepping. Retries are safe: folding is
+// idempotent (timestamp-guarded) and a genuinely crashed machine fails
+// every attempt immediately.
+func (c *Cluster) SetRetry(r pool.Retry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.retry = r
+}
+
+// InjectFaults wires the chaos plan into every current and future node
+// (specs match nodes by name; see internal/faults). It returns how many
+// existing nodes got an injector attached. A nil plan detaches nothing —
+// injectors already attached keep running — so install the plan before
+// the first Run. Intended for tests and chaos drills, not production
+// estimation.
+func (c *Cluster) InjectFaults(plan *faults.Plan) (int, error) {
+	if plan == nil {
+		return 0, errors.New("cluster: nil fault plan")
+	}
+	if err := plan.Validate(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.plan = plan
+	attached := 0
+	for _, n := range c.nodes {
+		if faults.Attach(plan, n.Name, n.srv) {
+			attached++
+		}
+	}
+	return attached, nil
 }
 
 // AddHomogeneous adds a node running one workload on the default server
@@ -154,6 +222,9 @@ func (c *Cluster) add(name string, srv *machine.Server) (*Node, error) {
 			return nil, fmt.Errorf("cluster: duplicate node %q", name)
 		}
 	}
+	if c.plan != nil {
+		faults.Attach(c.plan, name, srv)
+	}
 	n := &Node{Name: name, srv: srv}
 	c.nodes = append(c.nodes, n)
 	return n, nil
@@ -177,43 +248,87 @@ func (c *Cluster) Run(seconds float64) error {
 // RunContext is Run with cooperative cancellation. On cancellation the
 // aggregate error includes ctx.Err(); nodes already stepped keep their
 // folded samples (each node stops between slices, never mid-slice).
+//
+// A node whose step fails for any reason other than cancellation —
+// machine crash, worker panic (recovered into a *pool.PanicError),
+// unalignable logs — is quarantined after the configured retries: the
+// returned error reports it (wrapping ErrNodeFailed and the cause), but
+// every healthy node still completes its step, and later calls skip the
+// quarantined node instead of failing again.
 func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
 	defer telemetry.StartSpan("cluster.run").End()
 	c.mu.Lock()
 	nodes := append([]*Node(nil), c.nodes...)
-	p := c.p
+	p, retry := c.p, c.retry
 	c.mu.Unlock()
-	return p.Run(ctx, len(nodes), func(ctx context.Context, i int) error {
-		n := nodes[i]
-		runErr := n.srv.RunContext(ctx, seconds)
-		// Fold whatever was sampled even on a cancelled (partial) run.
-		foldStart := time.Now()
-		ds, err := n.srv.Dataset()
-		if err != nil {
-			return fmt.Errorf("cluster: node %s: %w", n.Name, err)
+	// final[i] is node i's last-attempt error; slots are written by the
+	// stepping worker and read only after the pool drains.
+	final := make([]error, len(nodes))
+	poolErr := p.RunRetry(ctx, len(nodes), retry, func(ctx context.Context, i int) error {
+		if nodes[i].Err() != nil {
+			return nil // quarantined by an earlier run
 		}
-		n.fold(c.est, ds)
-		mFoldLatency.Observe(time.Since(foldStart).Seconds())
-		mNodeRuns.Inc()
-		mNodeSimSeconds.Add(seconds)
-		if runErr != nil {
-			return fmt.Errorf("cluster: node %s: %w", n.Name, runErr)
-		}
-		return nil
+		final[i] = nodes[i].step(ctx, c.est, seconds)
+		return final[i]
 	})
+	if ctx.Err() != nil {
+		// Cancellation is not a node fault: report it, quarantine nothing.
+		return poolErr
+	}
+	var failures []error
+	for i, err := range final {
+		if err == nil {
+			continue
+		}
+		nodes[i].quarantine(err)
+		failures = append(failures, fmt.Errorf("cluster: node %s: %w: %w", nodes[i].Name, ErrNodeFailed, err))
+	}
+	return errors.Join(failures...)
+}
+
+// step advances one node and folds its fresh samples, converting a
+// panic anywhere underneath (machine, DAQ, fold) into an error so one
+// poisoned node cannot take down the whole run.
+func (n *Node) step(ctx context.Context, est *core.Estimator, seconds float64) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			mNodePanics.Inc()
+			err = pool.NewPanicError(v)
+		}
+	}()
+	runErr := n.srv.RunContext(ctx, seconds)
+	// Fold whatever was sampled even on a cancelled or crashed (partial)
+	// run, through the robust merge so a degraded sensor chain yields a
+	// repaired trace plus a Quality report instead of an abort.
+	foldStart := time.Now()
+	ds, quality, dsErr := n.srv.DatasetRobust()
+	if dsErr == nil {
+		n.fold(est, ds, quality)
+		mFoldLatency.Observe(time.Since(foldStart).Seconds())
+	}
+	mNodeRuns.Inc()
+	mNodeSimSeconds.Add(seconds)
+	if runErr != nil {
+		return runErr
+	}
+	return dsErr
 }
 
 // fold accumulates the node's not-yet-seen samples into its running
 // means. Only the worker stepping the node calls it (Run calls are
-// serialized), so n.seen and the dataset walk need no lock; the lock
+// serialized), so n.lastT and the dataset walk need no lock; the lock
 // protects the accumulators against concurrent mean readers.
-func (n *Node) fold(est *core.Estimator, ds *align.Dataset) {
+func (n *Node) fold(est *core.Estimator, ds *align.Dataset, quality align.Quality) {
 	var estSum, measSum float64
 	added := 0
-	for ; n.seen < ds.Len(); n.seen++ {
-		row := &ds.Rows[n.seen]
+	for i := range ds.Rows {
+		row := &ds.Rows[i]
+		if row.Counters.TargetSeconds <= n.lastT {
+			continue
+		}
+		n.lastT = row.Counters.TargetSeconds
 		estSum += est.Estimate(&row.Counters).Total()
 		measSum += row.Power.Total()
 		added++
@@ -222,14 +337,50 @@ func (n *Node) fold(est *core.Estimator, ds *align.Dataset) {
 	n.estSum += estSum
 	n.measSum += measSum
 	n.n += added
+	n.quality = quality
 	n.mu.Unlock()
 	mSamplesFolded.Add(uint64(added))
 }
 
-// EstimatedMean returns the node's counter-estimated average total power.
+// quarantine marks the node failed. First cause wins; the samples
+// folded before the failure stay readable through Quality/Coverage but
+// the means start returning ErrNodeFailed.
+func (n *Node) quarantine(cause error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil {
+		return
+	}
+	n.err = cause
+	mNodeFailures.Inc()
+	gQuarantined.Add(1)
+}
+
+// Err returns nil for a healthy node, or the failure that quarantined
+// it.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+// Quality returns the data-quality summary from the node's most recent
+// fold — how much repair the robust merge performed on its logs.
+func (n *Node) Quality() align.Quality {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.quality
+}
+
+// EstimatedMean returns the node's counter-estimated average total
+// power. A quarantined node returns an error wrapping ErrNodeFailed and
+// the failure cause.
 func (n *Node) EstimatedMean() (float64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.err != nil {
+		return 0, fmt.Errorf("%w: %s: %w", ErrNodeFailed, n.Name, n.err)
+	}
 	if n.n == 0 {
 		return 0, ErrNoSamples
 	}
@@ -237,10 +388,14 @@ func (n *Node) EstimatedMean() (float64, error) {
 }
 
 // MeasuredMean returns the node's measured average total power — ground
-// truth the manager itself never uses.
+// truth the manager itself never uses. Quarantined nodes fail like
+// EstimatedMean.
 func (n *Node) MeasuredMean() (float64, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.err != nil {
+		return 0, fmt.Errorf("%w: %s: %w", ErrNodeFailed, n.Name, n.err)
+	}
 	if n.n == 0 {
 		return 0, ErrNoSamples
 	}
@@ -255,12 +410,18 @@ type Estimate struct {
 
 // Snapshot returns the per-node estimated means plus the cluster total,
 // in node insertion order regardless of how the underlying runs were
-// scheduled.
+// scheduled. Quarantined nodes are skipped — their draw is unknown, not
+// zero; use Coverage to see how much of the cluster the total covers. A
+// healthy node without samples is still an error (ErrNoSamples), and a
+// cluster with every node quarantined fails with ErrNodeFailed.
 func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
 	nodes := c.Nodes()
 	out := make([]Estimate, 0, len(nodes))
 	total := 0.0
 	for _, n := range nodes {
+		if n.Err() != nil {
+			continue
+		}
 		w, err := n.EstimatedMean()
 		if err != nil {
 			return nil, 0, fmt.Errorf("cluster: node %s: %w", n.Name, err)
@@ -268,7 +429,52 @@ func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
 		out = append(out, Estimate{Name: n.Name, Watts: w})
 		total += w
 	}
+	if len(out) == 0 && len(nodes) > 0 {
+		return nil, 0, fmt.Errorf("%w: all %d nodes quarantined", ErrNodeFailed, len(nodes))
+	}
 	return out, total, nil
+}
+
+// Coverage describes how much of the cluster the sensorless estimates
+// currently cover.
+type Coverage struct {
+	// Total is the number of managed nodes.
+	Total int
+	// Healthy nodes contribute to Snapshot and VerifyAccuracy.
+	Healthy int
+	// Quarantined lists failed nodes in insertion order.
+	Quarantined []string
+	// Degraded lists healthy nodes whose latest fold needed repair
+	// (interpolated or dropped windows; see align.Quality).
+	Degraded []string
+}
+
+// Full reports complete, clean coverage: every node healthy, no node
+// running on repaired data.
+func (cov Coverage) Full() bool {
+	return len(cov.Quarantined) == 0 && len(cov.Degraded) == 0
+}
+
+// Coverage reports the cluster's current degradation state.
+func (c *Cluster) Coverage() Coverage {
+	cov := Coverage{}
+	for _, n := range c.Nodes() {
+		cov.Total++
+		if n.Err() != nil {
+			cov.Quarantined = append(cov.Quarantined, n.Name)
+			continue
+		}
+		cov.Healthy++
+		if n.Quality().Degraded() {
+			cov.Degraded = append(cov.Degraded, n.Name)
+		}
+	}
+	return cov
+}
+
+// Quarantined returns the names of failed nodes in insertion order.
+func (c *Cluster) Quarantined() []string {
+	return c.Coverage().Quarantined
 }
 
 // Plan is a consolidation decision: evict the named nodes (largest
@@ -313,10 +519,16 @@ func PlanConsolidation(estimates []Estimate, budgetWatts float64) Plan {
 
 // VerifyAccuracy returns the Equation 6 style relative error between the
 // cluster's estimated and measured mean totals — the check an operator
-// would run once before trusting the sensorless readings.
+// would run once before trusting the sensorless readings. Quarantined
+// nodes are excluded like in Snapshot; the error covers the surviving
+// coverage only.
 func (c *Cluster) VerifyAccuracy() (float64, error) {
+	nodes := c.Nodes()
 	var est, meas []float64
-	for _, n := range c.Nodes() {
+	for _, n := range nodes {
+		if n.Err() != nil {
+			continue
+		}
 		e, err := n.EstimatedMean()
 		if err != nil {
 			return 0, err
@@ -327,6 +539,9 @@ func (c *Cluster) VerifyAccuracy() (float64, error) {
 		}
 		est = append(est, e)
 		meas = append(meas, m)
+	}
+	if len(est) == 0 && len(nodes) > 0 {
+		return 0, fmt.Errorf("%w: all %d nodes quarantined", ErrNodeFailed, len(nodes))
 	}
 	return stats.AverageError(est, meas)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"trickledown/internal/align"
 	"trickledown/internal/power"
@@ -32,9 +33,23 @@ func CheckDataset(ds *align.Dataset) []DataIssue {
 	if ds == nil || ds.Len() == 0 {
 		return []DataIssue{{Subject: "dataset", Problem: "no samples"}}
 	}
-	// Rails: a powered subsystem reads neither zero nor flat-at-zero.
+	// Rails: finite readings first (a NaN window poisons every summary
+	// statistic), then neither zero nor flat-at-zero.
 	for _, sub := range power.Subsystems() {
 		col := ds.PowerColumn(sub)
+		nonFinite := 0
+		for _, v := range col {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				nonFinite++
+			}
+		}
+		if nonFinite > 0 {
+			issues = append(issues, DataIssue{
+				Subject: "power/" + sub.String(),
+				Problem: fmt.Sprintf("%d non-finite readings (sensor dropout? run the robust merge)", nonFinite),
+			})
+			continue
+		}
 		s, err := stats.Summarize(col)
 		if err != nil {
 			continue

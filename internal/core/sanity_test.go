@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"math"
 	"strings"
 	"testing"
 
@@ -96,6 +98,40 @@ func TestCheckDatasetBadInterval(t *testing.T) {
 	ds.Rows[4].Counters.IntervalSec = 0
 	if issues := CheckDataset(ds); !hasIssue(issues, "timebase", "non-positive") {
 		t.Errorf("bad interval not flagged: %v", issues)
+	}
+}
+
+func TestCheckDatasetNonFiniteRail(t *testing.T) {
+	ds := healthyDataset(20)
+	ds.Rows[7].Power[power.SubMemory] = math.NaN()
+	ds.Rows[9].Power[power.SubMemory] = math.Inf(1)
+	issues := CheckDataset(ds)
+	if !hasIssue(issues, "power/Memory", "2 non-finite") {
+		t.Errorf("NaN/Inf rail not flagged: %v", issues)
+	}
+	// Other rails stay clean — the NaN must not leak into their checks.
+	if hasIssue(issues, "power/CPU", "non-finite") {
+		t.Errorf("clean rail flagged: %v", issues)
+	}
+}
+
+func TestTrainRejectsNonFinite(t *testing.T) {
+	ds := healthyDataset(20)
+	ds.Rows[11].Power[power.SubCPU] = math.NaN()
+	if _, err := Train(CPUSpec(), ds); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN rail trained: err = %v", err)
+	}
+	ds = healthyDataset(20)
+	ds.Rows[2].Power[power.SubChipset] = math.Inf(-1)
+	if _, err := Train(ChipsetSpec(), ds); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("Inf rail trained: err = %v", err)
+	}
+	// A NaN in the counter log reaches the design matrix the same way
+	// (OS busy time feeds the OS-utilization model unclamped).
+	ds = healthyDataset(20)
+	ds.Rows[4].Counters.OSBusySec = []float64{math.NaN()}
+	if _, err := Train(CPUOSUtilSpec(), ds); !errors.Is(err, ErrNonFinite) {
+		t.Errorf("NaN design column trained: err = %v", err)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 
 	"trickledown/internal/align"
@@ -12,6 +13,12 @@ import (
 
 // ErrNoData is returned when training or validating on an empty dataset.
 var ErrNoData = errors.New("core: empty dataset")
+
+// ErrNonFinite is returned when training data contains NaN or Inf — a
+// degraded trace that must go through align.MergeRobust (or be dropped)
+// before it can fit coefficients. OLS would otherwise propagate the NaN
+// into every coefficient silently.
+var ErrNonFinite = errors.New("core: non-finite value in training data")
 
 // Model is a fitted subsystem power model.
 type Model struct {
@@ -34,6 +41,14 @@ func Train(spec ModelSpec, ds *align.Dataset) (*Model, error) {
 		m := ExtractMetrics(&row.Counters)
 		x[i] = spec.Design(m)
 		y[i] = row.Power[spec.Sub]
+		if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+			return nil, fmt.Errorf("%w: %s rail at row %d", ErrNonFinite, spec.Sub, i)
+		}
+		for j, v := range x[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("%w: design column %d at row %d", ErrNonFinite, j, i)
+			}
+		}
 	}
 	fit, err := regress.OLS(x, y)
 	if err != nil {

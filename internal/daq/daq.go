@@ -31,7 +31,24 @@ var (
 		"readings clamped to the ADC full-scale range (either rail)")
 	mWindows = telemetry.NewCounter("daq_windows_total",
 		"sync-to-sync averaging windows closed")
+	mSyncsDropped = telemetry.NewCounter("daq_syncs_dropped_total",
+		"sync edges lost to an injected serial-line fault")
 )
+
+// FaultInjector perturbs the instrument the way real measurement chains
+// fail: a sense channel sticks, drifts or goes dead, and the serial sync
+// line drops edges. Implementations (internal/faults) must be pure
+// functions of their own pre-seeded state and the DAQ-clock timestamp,
+// so a faulty run stays exactly as reproducible as a healthy one.
+type FaultInjector interface {
+	// PerturbReading returns the rail power as the (possibly faulty)
+	// sensor chain delivers it to the ADC. A healthy chain returns r
+	// unchanged.
+	PerturbReading(daqSeconds float64, r power.Reading) power.Reading
+	// DropSync reports whether the sync edge arriving at daqSeconds is
+	// lost (the averaging window then stays open into the next interval).
+	DropSync(daqSeconds float64) bool
+}
 
 // Config describes the acquisition hardware.
 type Config struct {
@@ -80,7 +97,13 @@ type DAQ struct {
 	n       int64
 	daqTime float64
 	records []Record
+	fault   FaultInjector
 }
+
+// SetFaultInjector installs a fault injector between the sense resistors
+// and the ADC (nil restores the healthy instrument). Call it before the
+// run; the injection points sit on the acquisition path itself.
+func (d *DAQ) SetFaultInjector(f FaultInjector) { d.fault = f }
 
 // New returns a DAQ with the given configuration and a private random
 // stream split from parent. It panics on a non-positive sample rate or
@@ -106,6 +129,9 @@ func New(cfg Config, parent *sim.RNG) *DAQ {
 func (d *DAQ) Acquire(sliceSec float64, truth power.Reading) {
 	if sliceSec <= 0 {
 		return
+	}
+	if d.fault != nil {
+		truth = d.fault.PerturbReading(d.daqTime, truth)
 	}
 	k := d.cfg.SampleHz * sliceSec
 	if k < 1 {
@@ -135,8 +161,14 @@ func (d *DAQ) quantize(w float64) float64 {
 
 // SyncPulse records a serial-port sync edge: the current averaging
 // window closes and a Record is appended. Windows with no samples are
-// dropped (back-to-back pulses).
+// dropped (back-to-back pulses). An injected serial fault can eat the
+// edge, in which case the open window keeps accumulating into the next
+// interval — exactly what a flaky sync line does to the real apparatus.
 func (d *DAQ) SyncPulse() {
+	if d.fault != nil && d.fault.DropSync(d.daqTime) {
+		mSyncsDropped.Inc()
+		return
+	}
 	if d.n == 0 {
 		return
 	}

@@ -152,3 +152,52 @@ func TestNoiseAveragesOut(t *testing.T) {
 		t.Errorf("worst window error = %v, averaging not effective", maxErr)
 	}
 }
+
+// stubFault sticks the CPU channel at a fixed value and eats every
+// second sync edge.
+type stubFault struct {
+	stuckAt float64
+	syncs   int
+}
+
+func (f *stubFault) PerturbReading(_ float64, r power.Reading) power.Reading {
+	r[power.SubCPU] = f.stuckAt
+	return r
+}
+
+func (f *stubFault) DropSync(float64) bool {
+	f.syncs++
+	return f.syncs%2 == 0
+}
+
+func TestFaultInjectorPerturbsAndDropsSyncs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NoiseStd = 0
+	d := New(cfg, sim.NewRNG(3))
+	d.SetFaultInjector(&stubFault{stuckAt: 123})
+	truth := power.Reading{40, 20, 30, 33, 21.6}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 1000; i++ {
+			d.Acquire(0.001, truth)
+		}
+		d.SyncPulse()
+	}
+	recs := d.Records()
+	// Edges 2 and 4 were eaten: edge 1 closes interval 1, edge 3 closes
+	// intervals 2+3 in one double-length window, interval 4 stays open.
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2 (every second sync eaten)", len(recs))
+	}
+	for i, r := range recs {
+		if math.Abs(r.Mean[power.SubCPU]-123) > 0.1 {
+			t.Errorf("window %d CPU channel = %v, want stuck-at 123", i, r.Mean[power.SubCPU])
+		}
+		if math.Abs(r.Mean[power.SubMemory]-30) > 0.1 {
+			t.Errorf("window %d Memory channel = %v, want untouched 30", i, r.Mean[power.SubMemory])
+		}
+	}
+	if recs[1].Samples != 2*recs[0].Samples {
+		t.Errorf("window after a dropped sync has %d samples, want %d (two intervals)",
+			recs[1].Samples, 2*recs[0].Samples)
+	}
+}

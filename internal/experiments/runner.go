@@ -10,6 +10,8 @@
 package experiments
 
 import (
+	"errors"
+	"log/slog"
 	"strconv"
 	"strings"
 	"sync"
@@ -32,6 +34,8 @@ var (
 		"dataset requests served from the runner cache (or joined in flight)")
 	mCacheMisses = telemetry.NewCounter("experiments_cache_misses_total",
 		"dataset requests that ran a fresh simulation")
+	mCellFailures = telemetry.NewCounter("experiments_cell_failures_total",
+		"table cells rendered n/a because their run or validation failed")
 )
 
 // Options configures an experiment run.
@@ -68,6 +72,15 @@ type Runner struct {
 	p     *pool.Pool
 	mu    sync.Mutex
 	cache map[string]*entry
+
+	// cellErrs collects per-cell failures tolerated during table
+	// generation (rendered as n/a); see CellErrors.
+	cellMu   sync.Mutex
+	cellErrs []error
+
+	// failDataset, when set, fails dataset requests for matching
+	// workloads — the test hook for the degraded-table path.
+	failDataset func(name string) error
 
 	// Lazy one-time training; the sync.Onces make concurrent first
 	// callers race-free (the fields are written exactly once, before any
@@ -143,6 +156,11 @@ func datasetKey(spec workload.Spec, seconds float64, seed uint64) string {
 // datasetSpec runs an explicit (possibly modified) spec, cached and
 // deduplicated across goroutines.
 func (r *Runner) datasetSpec(spec workload.Spec, seconds float64, seed uint64) (*align.Dataset, error) {
+	if r.failDataset != nil {
+		if err := r.failDataset(spec.Name); err != nil {
+			return nil, err
+		}
+	}
 	key := datasetKey(spec, seconds, seed)
 	r.mu.Lock()
 	e, ok := r.cache[key]
@@ -169,6 +187,25 @@ func (r *Runner) datasetSpec(spec workload.Spec, seconds float64, seed uint64) (
 		e.ds, e.err = srv.Dataset()
 	})
 	return e.ds, e.err
+}
+
+// recordCellErr logs and stores one tolerated cell failure.
+func (r *Runner) recordCellErr(err error) {
+	mCellFailures.Inc()
+	slog.Warn("experiments: cell failed, rendering n/a", "err", err)
+	r.cellMu.Lock()
+	r.cellErrs = append(r.cellErrs, err)
+	r.cellMu.Unlock()
+}
+
+// CellErrors returns every failure the table generators tolerated so
+// far, joined, or nil when all cells computed. Callers that print
+// tables should surface this afterwards: an n/a cell has its cause
+// here.
+func (r *Runner) CellErrors() error {
+	r.cellMu.Lock()
+	defer r.cellMu.Unlock()
+	return errors.Join(r.cellErrs...)
 }
 
 // mcfLong is the long mcf sweep behind Figures 4 and 5: instances join

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"trickledown/internal/power"
@@ -48,7 +49,12 @@ func (t *Table) Render(w io.Writer) error {
 	row := func(name, series string, vals []float64) error {
 		line := fmt.Sprintf("%-10s %-6s", name, series)
 		for _, v := range vals {
-			line += fmt.Sprintf(" %9.3f", v)
+			if math.IsNaN(v) {
+				// A failed cell (see Runner.CellErrors), not a number.
+				line += fmt.Sprintf(" %9s", "n/a")
+			} else {
+				line += fmt.Sprintf(" %9.3f", v)
+			}
 		}
 		_, err := fmt.Fprintln(w, line)
 		return err
@@ -99,10 +105,21 @@ func sustainedWindow(spec workload.Spec, rows int) int {
 	return ramp
 }
 
+// naRow is a full-width failed row: every cell NaN, rendered "n/a".
+func naRow() []float64 {
+	row := make([]float64, power.NumSubsystems)
+	for i := range row {
+		row[i] = math.NaN()
+	}
+	return row
+}
+
 // characterize runs every workload (in parallel on the runner's worker
 // pool) and applies fn to the sustained window of each subsystem's
 // measured power series. Each item writes only its own slot, so the
-// result is independent of scheduling order.
+// result is independent of scheduling order. A workload whose run fails
+// degrades to an n/a row (recorded in CellErrors) instead of losing the
+// whole table.
 func (r *Runner) characterize(fn func([]float64) float64) (map[string][]float64, error) {
 	names := workload.TableOrder()
 	vals := make([][]float64, len(names))
@@ -110,11 +127,15 @@ func (r *Runner) characterize(fn func([]float64) float64) (map[string][]float64,
 		name := names[i]
 		spec, err := r.scaledSpec(name)
 		if err != nil {
-			return err
+			vals[i] = naRow()
+			r.recordCellErr(fmt.Errorf("experiments: characterizing %s: %w", name, err))
+			return nil
 		}
 		ds, err := r.validation(name)
 		if err != nil {
-			return err
+			vals[i] = naRow()
+			r.recordCellErr(fmt.Errorf("experiments: characterizing %s: %w", name, err))
+			return nil
 		}
 		ds = ds.Skip(sustainedWindow(spec, ds.Len()))
 		row := make([]float64, 0, power.NumSubsystems)
@@ -207,7 +228,11 @@ func (r *Runner) modelErrors(name string) ([]float64, error) {
 // errorTable builds a validation-error table for the given workloads,
 // validating them in parallel on the runner's worker pool (training
 // happens once, up front). Rows land at their workload's index, so the
-// table order is the paper's regardless of scheduling.
+// table order is the paper's regardless of scheduling. A workload whose
+// validation fails degrades to an n/a row (recorded in CellErrors); the
+// per-subsystem averages are taken over the rows that computed. Only a
+// training failure — nothing to validate anything against — fails the
+// whole table.
 func (r *Runner) errorTable(title string, names []string, paper map[string][5]float64) (*Table, error) {
 	if _, err := r.Estimator(); err != nil {
 		return nil, err
@@ -218,7 +243,8 @@ func (r *Runner) errorTable(title string, names []string, paper map[string][5]fl
 		name := names[i]
 		ours, err := r.modelErrors(name)
 		if err != nil {
-			return err
+			ours = naRow()
+			r.recordCellErr(err)
 		}
 		row := TableRow{Workload: name, Ours: ours}
 		if p, ok := paper[name]; ok {
@@ -230,16 +256,25 @@ func (r *Runner) errorTable(title string, names []string, paper map[string][5]fl
 	if err != nil {
 		return nil, err
 	}
-	// Per-subsystem averages.
+	// Per-subsystem averages over the rows that computed.
 	avg := TableRow{Workload: "average"}
 	avg.Ours = make([]float64, power.NumSubsystems)
 	avg.Paper = make([]float64, power.NumSubsystems)
 	for j := 0; j < power.NumSubsystems; j++ {
+		good := 0
 		for _, row := range t.Rows {
-			avg.Ours[j] += row.Ours[j] / float64(len(names))
+			if !math.IsNaN(row.Ours[j]) {
+				avg.Ours[j] += row.Ours[j]
+				good++
+			}
 			if len(row.Paper) > j {
 				avg.Paper[j] += row.Paper[j] / float64(len(names))
 			}
+		}
+		if good > 0 {
+			avg.Ours[j] /= float64(good)
+		} else {
+			avg.Ours[j] = math.NaN()
 		}
 	}
 	t.Rows = append(t.Rows, avg)

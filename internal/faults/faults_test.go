@@ -1,0 +1,268 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"trickledown/internal/machine"
+	"trickledown/internal/power"
+	"trickledown/internal/workload"
+)
+
+func testPlan(seed uint64) *Plan {
+	return &Plan{Seed: seed, Specs: []Spec{
+		{Kind: DAQStuck, Channel: power.SubCPU, Start: 5, Duration: 10, Magnitude: 42},
+		{Kind: DAQDropout, Node: "n3", Channel: power.SubMemory, Start: 8, Duration: 4},
+		{Kind: SyncDrop, Start: 2, Magnitude: 0.2},
+		{Kind: CounterGlitch, CPU: -1, Start: 0, Magnitude: 0.1},
+		{Kind: NodeCrash, Node: "n7", Start: 20},
+		{Kind: WorkerPanic, Node: "n9", Start: 15},
+	}}
+}
+
+func TestScheduleByteIdentical(t *testing.T) {
+	a, b := testPlan(1234).Schedule(), testPlan(1234).Schedule()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same plan+seed rendered different schedules:\n%s\nvs\n%s", a, b)
+	}
+	if bytes.Equal(a, testPlan(99).Schedule()) {
+		t.Fatal("different seeds rendered the same schedule")
+	}
+	if len(bytes.Split(bytes.TrimSpace(a), []byte("\n"))) != 7 {
+		t.Errorf("schedule should render a header plus one line per spec:\n%s", a)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := testPlan(1).Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Specs: []Spec{{Kind: Kind(99)}}},
+		{Specs: []Spec{{Kind: DAQStuck, Start: -1}}},
+		{Specs: []Spec{{Kind: SyncDrop, Magnitude: 1.5}}},
+		{Specs: []Spec{{Kind: DAQDrift, Magnitude: math.NaN()}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestInjectorTargeting(t *testing.T) {
+	p := testPlan(1)
+	if in := p.Injector("n3"); in == nil || len(in.specs) != 4 {
+		t.Errorf("n3 should see its dropout plus the 3 untargeted specs")
+	}
+	if in := p.Injector("other"); in == nil || len(in.specs) != 3 {
+		t.Errorf("unrelated node should see only the untargeted specs")
+	}
+	none := &Plan{Seed: 1, Specs: []Spec{{Kind: NodeCrash, Node: "n7", Start: 1}}}
+	if in := none.Injector("other"); in != nil {
+		t.Errorf("node with no matching specs should compile to nil, got %+v", in)
+	}
+}
+
+func runServer(t *testing.T, seed uint64, plan *Plan, node string, seconds float64) (*machine.Server, error) {
+	t.Helper()
+	spec, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := machine.DefaultConfig()
+	cfg.Seed = seed
+	srv, err := machine.New(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		Attach(plan, node, srv)
+	}
+	return srv, srv.RunContext(context.Background(), seconds)
+}
+
+// TestZeroFaultPlanIsIdentity locks the acceptance criterion: attaching
+// a plan that injects nothing leaves the run byte-identical to an
+// unwired one.
+func TestZeroFaultPlanIsIdentity(t *testing.T) {
+	clean, err := runServer(t, 42, nil, "", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty plan, and a plan whose every spec targets some other node.
+	for name, plan := range map[string]*Plan{
+		"empty":      {Seed: 7},
+		"other-node": {Seed: 7, Specs: []Spec{{Kind: NodeCrash, Node: "elsewhere", Start: 1}}},
+	} {
+		wired, err := runServer(t, 42, plan, "me", 12)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		a, err := clean.Dataset()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := wired.Dataset()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s plan perturbed the run", name)
+		}
+	}
+}
+
+// TestFaultyRunDeterministic locks the other half of the contract: the
+// same plan and seed reproduce the same degraded dataset bit for bit.
+func TestFaultyRunDeterministic(t *testing.T) {
+	plan := &Plan{Seed: 99, Specs: []Spec{
+		{Kind: DAQDropout, Channel: power.SubCPU, Start: 3, Duration: 2},
+		{Kind: SyncDrop, Start: 0, Magnitude: 0.15},
+		{Kind: CounterGlitch, CPU: -1, Start: 0, Magnitude: 0.2},
+	}}
+	srvA, errA := runServer(t, 5, plan, "n", 15)
+	srvB, errB := runServer(t, 5, plan, "n", 15)
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("run errors diverged: %v vs %v", errA, errB)
+	}
+	dsA, qA, err := srvA.DatasetRobust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsB, qB, err := srvB.DatasetRobust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qA != qB {
+		t.Errorf("quality summaries diverged: %v vs %v", qA, qB)
+	}
+	if !reflect.DeepEqual(dsA, dsB) {
+		t.Error("datasets diverged for identical plan+seed")
+	}
+}
+
+func TestDAQStuckPinsChannel(t *testing.T) {
+	plan := &Plan{Seed: 1, Specs: []Spec{
+		{Kind: DAQStuck, Channel: power.SubCPU, Start: 0, Magnitude: 42},
+	}}
+	srv, err := runServer(t, 6, plan, "", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := srv.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ds.Rows {
+		if got := ds.Rows[i].Power[power.SubCPU]; math.Abs(got-42) > 0.2 {
+			t.Fatalf("row %d CPU rail = %v, want stuck near 42", i, got)
+		}
+		if ds.Rows[i].Power[power.SubMemory] < 1 {
+			t.Fatalf("row %d memory rail implausibly low — stuck fault leaked across channels", i)
+		}
+	}
+}
+
+func TestDAQDropoutRepairedByRobustMerge(t *testing.T) {
+	plan := &Plan{Seed: 1, Specs: []Spec{
+		{Kind: DAQDropout, Channel: power.SubIO, Start: 5, Duration: 1.5},
+	}}
+	srv, err := runServer(t, 7, plan, "", 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Dataset(); err == nil {
+		// The strict merge happily pairs NaN windows; the robust path
+		// must reject and repair them.
+		ds, q, err := srv.DatasetRobust()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.BadWindows == 0 {
+			t.Fatalf("dropout produced no rejected windows: %v", q)
+		}
+		for i := range ds.Rows {
+			if math.IsNaN(ds.Rows[i].Power[power.SubIO]) {
+				t.Fatalf("NaN survived the robust merge at row %d", i)
+			}
+		}
+	}
+}
+
+func TestSyncDropStillAligns(t *testing.T) {
+	plan := &Plan{Seed: 3, Specs: []Spec{{Kind: SyncDrop, Start: 0, Magnitude: 0.25}}}
+	srv, err := runServer(t, 8, plan, "", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, q, err := srv.DatasetRobust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Degraded() || q.Interpolated+q.Dropped == 0 {
+		t.Errorf("25%% sync loss reported clean: %v", q)
+	}
+	if ds.Len() < 10 {
+		t.Errorf("only %d rows survived a 25%% sync loss over 20s", ds.Len())
+	}
+}
+
+func TestCounterGlitchSaturatesSlots(t *testing.T) {
+	plan := &Plan{Seed: 4, Specs: []Spec{{Kind: CounterGlitch, CPU: 1, Start: 0, Magnitude: 1}}}
+	srv, err := runServer(t, 9, plan, "", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := srv.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFullScale := false
+	for i := range ds.Rows {
+		cpus := ds.Rows[i].Counters.CPUs
+		for c := range cpus {
+			fields := counterFields(&cpus[c])
+			for _, f := range fields {
+				if *f == p4FullScale {
+					if c != 1 {
+						t.Fatalf("glitch hit cpu %d, spec targets cpu 1", c)
+					}
+					sawFullScale = true
+				}
+			}
+		}
+	}
+	if !sawFullScale {
+		t.Error("probability-1 glitch never fired")
+	}
+}
+
+func TestNodeCrashAndWorkerPanic(t *testing.T) {
+	crash := &Plan{Seed: 5, Specs: []Spec{{Kind: NodeCrash, Node: "n", Start: 4}}}
+	srv, err := runServer(t, 10, crash, "n", 30)
+	if !errors.Is(err, ErrInjectedCrash) {
+		t.Fatalf("err = %v, want ErrInjectedCrash", err)
+	}
+	ds, err := srv.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ds.Len(); n < 2 || n > 5 {
+		t.Errorf("crashed node kept %d samples, want ~4 (died at 4s)", n)
+	}
+
+	boom := &Plan{Seed: 5, Specs: []Spec{{Kind: WorkerPanic, Node: "n", Start: 2}}}
+	panicked := func() (v any) {
+		defer func() { v = recover() }()
+		_, _ = runServer(t, 10, boom, "n", 30)
+		return nil
+	}()
+	if panicked == nil {
+		t.Fatal("WorkerPanic spec did not panic the run")
+	}
+}

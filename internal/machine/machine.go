@@ -120,6 +120,21 @@ func (d *railDrift) step(sliceSec float64) power.Reading {
 // not originate within a processor are combined into a single metric").
 const snoopShare = 0.05
 
+// CrashInjector lets a chaos harness kill the machine mid-run: a crash
+// turns RunContext into an error return (the node died), a panic unwinds
+// the stepping goroutine itself (exercising worker-level recovery in the
+// layers above, internal/pool). Implementations must be deterministic in
+// the simulated time so chaos runs stay reproducible.
+type CrashInjector interface {
+	// CrashErr is consulted every slice; the first non-nil return crashes
+	// the machine: the current run stops (RunContext returns this error)
+	// and the machine stays dead for the rest of simulated time.
+	CrashErr(nowSec float64) error
+	// PanicAt is consulted every slice; returning true panics the
+	// stepping goroutine with the machine left between slices.
+	PanicAt(nowSec float64) bool
+}
+
 // SliceInfo is handed to per-slice observers (examples and tests); all
 // values describe the slice just computed.
 type SliceInfo struct {
@@ -159,6 +174,10 @@ type Server struct {
 	truthN   int64
 
 	onSlice []func(SliceInfo)
+
+	crash     CrashInjector
+	crashErr  error
+	abortSlot func() // cancels the in-flight RunContext after a crash
 }
 
 // Placement pins one workload instance to a hardware thread with a
@@ -354,6 +373,15 @@ func (s *Server) Throttle(cpuID int) float64 {
 	return s.procs[cpuID].Throttle()
 }
 
+// SetCrashInjector installs a crash/panic injector consulted every slice
+// (nil restores a machine that only dies when told to by physics). Call
+// it before the run.
+func (s *Server) SetCrashInjector(ci CrashInjector) { s.crash = ci }
+
+// CrashErr returns the error this machine died with, or nil while it is
+// still running.
+func (s *Server) CrashErr() error { return s.crashErr }
+
 // OnSlice registers an observer called after every slice.
 func (s *Server) OnSlice(fn func(SliceInfo)) {
 	if fn != nil {
@@ -367,6 +395,24 @@ func (s *Server) OnSlice(fn func(SliceInfo)) {
 func (s *Server) step(c *sim.Clock) {
 	now := c.Seconds()
 	sliceSec := c.SliceSeconds()
+
+	// 0. Chaos hooks. A crashed machine freezes: no demand, no power, no
+	// samples — the measurement chain sees the node disappear.
+	if s.crashErr != nil {
+		return
+	}
+	if s.crash != nil {
+		if s.crash.PanicAt(now) {
+			panic(fmt.Sprintf("machine: injected panic at %.3fs", now))
+		}
+		if err := s.crash.CrashErr(now); err != nil {
+			s.crashErr = err
+			if s.abortSlot != nil {
+				s.abortSlot()
+			}
+			return
+		}
+	}
 
 	// 1. Thread demand.
 	for i := range s.jobs {
@@ -475,13 +521,45 @@ func (s *Server) Run(seconds float64) {
 // seconds, stopping early (between slices, with the machine left in a
 // consistent state) when ctx is cancelled. A partial run's samples
 // remain valid: Dataset still returns everything sampled so far.
+//
+// If a CrashInjector kills the machine mid-run, RunContext returns the
+// injected crash error (everything sampled before the crash remains
+// available) and every later run returns it again immediately: a dead
+// node stays dead.
 func (s *Server) RunContext(ctx context.Context, seconds float64) error {
-	return s.engine.RunForContext(ctx, time.Duration(seconds*float64(time.Second)))
+	if s.crashErr != nil {
+		return s.crashErr
+	}
+	d := time.Duration(seconds * float64(time.Second))
+	if s.crash == nil {
+		return s.engine.RunForContext(ctx, d)
+	}
+	// A crash is detected inside a slice step, which cannot abort the
+	// engine loop directly; it cancels this run-scoped context instead
+	// and the engine stops at the next cancellation check.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	s.abortSlot = cancel
+	err := s.engine.RunForContext(runCtx, d)
+	s.abortSlot = nil
+	if s.crashErr != nil {
+		return s.crashErr
+	}
+	return err
 }
 
 // Dataset merges the DAQ and counter logs into the aligned trace.
 func (s *Server) Dataset() (*align.Dataset, error) {
 	return align.Merge(s.dq.Records(), s.sampler.Samples())
+}
+
+// DatasetRobust merges the logs through the degradation-tolerant path
+// (align.MergeRobust): dropped sync pulses, duplicate edges and NaN
+// windows are repaired or excised instead of failing the merge, and the
+// returned Quality reports every repair. On a healthy machine it returns
+// exactly what Dataset returns.
+func (s *Server) DatasetRobust() (*align.Dataset, align.Quality, error) {
+	return align.MergeRobust(s.dq.Records(), s.sampler.Samples())
 }
 
 // TruthMean returns the noise-free per-rail average over the whole run —

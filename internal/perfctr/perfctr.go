@@ -114,6 +114,17 @@ type UtilSource interface {
 	BusySeconds() []float64
 }
 
+// FaultInjector corrupts raw counter reads the way real PMUs glitch: a
+// slot returns garbage, saturates, or wraps mid-interval. The driver
+// applies it to each processor's freshly read deltas before the sample
+// is stored. Implementations must be pure functions of their pre-seeded
+// state and the sample time, keeping faulty runs reproducible.
+type FaultInjector interface {
+	// PerturbCounts mutates one processor's interval deltas in place at
+	// sample time t (target clock). A healthy PMU leaves c untouched.
+	PerturbCounts(t float64, cpu int, c *CPUCounts)
+}
+
 // Sampler drives periodic sampling of a set of PMUs.
 type Sampler struct {
 	period     float64
@@ -130,7 +141,12 @@ type Sampler struct {
 	lastMatrix [][]uint64
 	samples    []Sample
 	onSample   []func()
+	fault      FaultInjector
 }
+
+// SetFaultInjector installs a counter fault injector (nil restores
+// healthy PMUs). Call it before the run.
+func (s *Sampler) SetFaultInjector(f FaultInjector) { s.fault = f }
 
 // NewSampler programs every PMU with the paper's event set and returns a
 // sampler firing at the given nominal period in seconds.
@@ -231,6 +247,9 @@ func (s *Sampler) fire(now float64) {
 			}
 		}
 		p.ClearAll()
+		if s.fault != nil {
+			s.fault.PerturbCounts(now, i, c)
+		}
 	}
 	if s.ints != nil {
 		cur := s.ints.Matrix()

@@ -209,3 +209,43 @@ func TestSamplerWithoutUtilSourceHasNilBusy(t *testing.T) {
 		t.Error("OSBusySec appeared without a source")
 	}
 }
+
+// glitchFault zeroes cpu 1's cycle count on every sample — the stuck
+// counter slot CheckDataset is meant to catch downstream.
+type glitchFault struct{ calls int }
+
+func (g *glitchFault) PerturbCounts(_ float64, cpu int, c *CPUCounts) {
+	g.calls++
+	if cpu == 1 {
+		c.Cycles = 0
+	}
+}
+
+func TestFaultInjectorCorruptsCounts(t *testing.T) {
+	s, pmus := newSampler(t, 2, nil)
+	g := &glitchFault{}
+	s.SetFaultInjector(g)
+	clock := sim.NewClock(time.Millisecond, 2.8e9)
+	for i := 0; i < 3000; i++ {
+		for _, p := range pmus {
+			p.Observe(pmu.EventCycles, 2800000)
+		}
+		s.Step(clock)
+		clock.Tick()
+	}
+	samples := s.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples fired")
+	}
+	if g.calls != len(samples)*2 {
+		t.Errorf("injector consulted %d times, want %d (per cpu per sample)", g.calls, len(samples)*2)
+	}
+	for i, smp := range samples {
+		if smp.CPUs[0].Cycles == 0 {
+			t.Errorf("sample %d cpu0 corrupted, injector should only touch cpu1", i)
+		}
+		if smp.CPUs[1].Cycles != 0 {
+			t.Errorf("sample %d cpu1 cycles = %d, want glitched to 0", i, smp.CPUs[1].Cycles)
+		}
+	}
+}

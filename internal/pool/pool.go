@@ -14,7 +14,9 @@ package pool
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -37,7 +39,60 @@ var (
 		"time from submission to acquiring a pool slot", nil)
 	mTaskDuration = telemetry.NewHistogram("pool_task_duration_seconds",
 		"work item execution time", nil)
+	mPanics = telemetry.NewCounter("pool_panics_recovered_total",
+		"work item panics recovered and converted to *PanicError")
+	mRetries = telemetry.NewCounter("pool_task_retries_total",
+		"work item re-executions after a failed attempt")
 )
+
+// PanicError is a work item panic converted to an error: the pool (and
+// callers layering their own recovery) never let one panicking task take
+// down the process or deadlock the other items. Value is the recovered
+// panic value; Stack is the panicking goroutine's stack, captured at
+// recovery time for post-mortem logging.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// NewPanicError captures the current goroutine's stack around a
+// recovered panic value. Call it only from inside a deferred recover.
+func NewPanicError(value any) *PanicError {
+	return &PanicError{Value: value, Stack: debug.Stack()}
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Retry is a per-task retry policy for RunRetry. The zero value (and any
+// Attempts < 2) means run each task exactly once.
+type Retry struct {
+	// Attempts is the maximum number of tries per task, including the
+	// first; values below 1 behave as 1.
+	Attempts int
+	// BaseDelay is the wait before the first retry; it doubles after
+	// every failed attempt (capped at MaxDelay). Zero means no wait.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff; zero means uncapped.
+	MaxDelay time.Duration
+}
+
+// backoff returns the wait before retry number n (1-based), doubling
+// from BaseDelay and capped at MaxDelay.
+func (r Retry) backoff(n int) time.Duration {
+	d := r.BaseDelay
+	for i := 1; i < n; i++ {
+		d *= 2
+		if r.MaxDelay > 0 && d >= r.MaxDelay {
+			return r.MaxDelay
+		}
+	}
+	if r.MaxDelay > 0 && d > r.MaxDelay {
+		d = r.MaxDelay
+	}
+	return d
+}
 
 // Pool is a bounded parallel executor. The zero value is not usable; use
 // New. A Pool is safe for concurrent use and carries no per-Run state.
@@ -71,7 +126,22 @@ func (p *Pool) Workers() int { return cap(p.sem) }
 // returned error includes ctx.Err(). Run must not be called from inside
 // one of its own work functions: a worker waiting on the shared budget
 // while holding a slot can deadlock the pool.
+//
+// A panicking work item does not crash the process or wedge the pool:
+// the panic is recovered, wrapped as a *PanicError carrying the stack,
+// and joined into the aggregate error at the item's index like any other
+// failure.
 func (p *Pool) Run(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	return p.RunRetry(ctx, n, Retry{}, fn)
+}
+
+// RunRetry is Run with a per-task retry policy: a failed item (error or
+// recovered panic) is re-executed up to r.Attempts times total, waiting
+// r.BaseDelay doubled per retry (capped at r.MaxDelay) between attempts.
+// The backoff wait is context-aware: cancellation during a wait abandons
+// the remaining attempts and reports the last attempt's error alongside
+// ctx.Err(). Only the final attempt's error reaches the aggregate.
+func (p *Pool) RunRetry(ctx context.Context, n int, r Retry, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
@@ -100,10 +170,50 @@ dispatch:
 					mTasksRunning.Add(-1)
 					mTasksCompleted.Inc()
 				}()
-				errs[i] = fn(ctx, i)
+				errs[i] = runAttempts(ctx, i, r, fn)
 			}(i)
 		}
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// runAttempts executes one work item under the retry policy, holding the
+// caller's pool slot across attempts (a retry is the same work item, not
+// new work).
+func runAttempts(ctx context.Context, i int, r Retry, fn func(ctx context.Context, i int) error) error {
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = runProtected(ctx, i, fn)
+		if err == nil || attempt >= attempts {
+			return err
+		}
+		mRetries.Inc()
+		if wait := r.backoff(attempt); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return errors.Join(err, ctx.Err())
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return errors.Join(err, ctx.Err())
+		}
+	}
+}
+
+// runProtected runs one attempt with panic recovery.
+func runProtected(ctx context.Context, i int, fn func(ctx context.Context, i int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			mPanics.Inc()
+			err = NewPanicError(v)
+		}
+	}()
+	return fn(ctx, i)
 }

@@ -130,6 +130,157 @@ func TestRunCancellation(t *testing.T) {
 	}
 }
 
+// TestRunRecoversPanic is the regression test for the original behavior,
+// where a panicking task crashed the whole process (and, because the
+// slot release deferred after the panic never ran in the old layout,
+// could wedge the pool): the panic must come back as a *PanicError at
+// the task's index, with the other items unaffected.
+func TestRunRecoversPanic(t *testing.T) {
+	p := New(2)
+	var ran atomic.Int64
+	err := p.Run(context.Background(), 8, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			panic("injected task panic")
+		}
+		return nil
+	})
+	if got := ran.Load(); got != 8 {
+		t.Errorf("ran %d items, want 8 (panic starved the pool?)", got)
+	}
+	var perr *PanicError
+	if !errors.As(err, &perr) {
+		t.Fatalf("err = %v, want a *PanicError", err)
+	}
+	if perr.Value != "injected task panic" {
+		t.Errorf("PanicError.Value = %v", perr.Value)
+	}
+	if !strings.Contains(string(perr.Stack), "pool") {
+		t.Errorf("PanicError.Stack does not look like a stack:\n%s", perr.Stack)
+	}
+	// The pool must still be usable after a panic (slot released).
+	if err := p.Run(context.Background(), 4, func(context.Context, int) error { return nil }); err != nil {
+		t.Errorf("pool unusable after panic: %v", err)
+	}
+}
+
+// TestRunPanicIndexOrder checks panics join the aggregate in index
+// order alongside plain errors.
+func TestRunPanicIndexOrder(t *testing.T) {
+	p := New(4)
+	err := p.Run(context.Background(), 5, func(_ context.Context, i int) error {
+		switch i {
+		case 1:
+			return fmt.Errorf("plain failure %d", i)
+		case 3:
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return nil
+	})
+	msg := err.Error()
+	if !strings.Contains(msg, "plain failure 1") || !strings.Contains(msg, "boom 3") {
+		t.Fatalf("aggregate missing failures: %v", msg)
+	}
+	if strings.Index(msg, "plain failure 1") > strings.Index(msg, "boom 3") {
+		t.Errorf("errors not in index order: %v", msg)
+	}
+}
+
+func TestRunRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p := New(2)
+	var attempts atomic.Int64
+	err := p.RunRetry(context.Background(), 1,
+		Retry{Attempts: 4, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond},
+		func(_ context.Context, i int) error {
+			if attempts.Add(1) < 3 {
+				return fmt.Errorf("transient")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("retry did not recover transient failure: %v", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+func TestRunRetryExhaustsAttempts(t *testing.T) {
+	p := New(1)
+	var attempts atomic.Int64
+	err := p.RunRetry(context.Background(), 1, Retry{Attempts: 3},
+		func(context.Context, int) error {
+			attempts.Add(1)
+			return fmt.Errorf("permanent failure")
+		})
+	if err == nil || !strings.Contains(err.Error(), "permanent failure") {
+		t.Fatalf("err = %v, want the final attempt's failure", err)
+	}
+	if got := attempts.Load(); got != 3 {
+		t.Errorf("attempts = %d, want 3", got)
+	}
+}
+
+func TestRunRetryRetriesPanics(t *testing.T) {
+	p := New(1)
+	var attempts atomic.Int64
+	err := p.RunRetry(context.Background(), 1, Retry{Attempts: 2},
+		func(context.Context, int) error {
+			if attempts.Add(1) == 1 {
+				panic("first attempt explodes")
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("panicking first attempt not retried: %v", err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+}
+
+// TestRunRetryBackoffHonorsCancellation checks a cancelled context cuts
+// the backoff wait short instead of sleeping out the full schedule.
+func TestRunRetryBackoffHonorsCancellation(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		done <- p.RunRetry(ctx, 1, Retry{Attempts: 10, BaseDelay: time.Hour},
+			func(context.Context, int) error { return fmt.Errorf("always fails") })
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled in the join", err)
+		}
+		if !strings.Contains(err.Error(), "always fails") {
+			t.Errorf("err = %v, want the attempt error preserved", err)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("backoff ignored cancellation (took %v)", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunRetry hung in backoff after cancellation")
+	}
+}
+
+func TestRetryBackoffCap(t *testing.T) {
+	r := Retry{BaseDelay: time.Second, MaxDelay: 5 * time.Second}
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 5 * time.Second, 5 * time.Second}
+	for i, w := range want {
+		if got := r.backoff(i + 1); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	if got := (Retry{}).backoff(3); got != 0 {
+		t.Errorf("zero-policy backoff = %v, want 0", got)
+	}
+}
+
 func TestRunEmptyAndDefaults(t *testing.T) {
 	if err := New(2).Run(context.Background(), 0, nil); err != nil {
 		t.Errorf("empty run: %v", err)
