@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench race cover report tables figures examples loc
+.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc
 
 all: vet test
 
@@ -15,7 +15,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Run the fixed benchmark suite and record BENCH_<date>.json (see
+# DESIGN.md "Performance"). `make bench-gate` additionally fails when
+# allocs/op regresses >20% against the newest checked-in baseline.
 bench:
+	$(GO) run ./cmd/tdbench
+
+bench-gate:
+	$(GO) run ./cmd/tdbench -o /tmp/bench_current.json \
+		-baseline $$(ls BENCH_*.json | sort | tail -1)
+
+# The raw, unrecorded full suite (every Benchmark* in the repo).
+bench-all:
 	$(GO) test -bench=. -benchmem -run=NONE .
 
 cover:

@@ -59,6 +59,9 @@ func BenchmarkTable1(b *testing.B) {
 			b.Fatal(err)
 		}
 		gcc := t.Row("gcc")
+		if gcc == nil {
+			b.Fatal("gcc row missing")
+		}
 		b.ReportMetric(gcc.Ours[0], "gcc_cpu_W")
 		b.ReportMetric(gcc.Ours[5], "gcc_total_W")
 	}
@@ -72,7 +75,11 @@ func BenchmarkTable2(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(t.Row("specjbb").Ours[0], "jbb_cpu_sd_W")
+		jbb := t.Row("specjbb")
+		if jbb == nil {
+			b.Fatal("specjbb row missing")
+		}
+		b.ReportMetric(jbb.Ours[0], "jbb_cpu_sd_W")
 	}
 }
 

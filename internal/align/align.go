@@ -57,11 +57,24 @@ func Merge(records []daq.Record, samples []perfctr.Sample) (*Dataset, error) {
 
 // PowerColumn extracts one subsystem's measured power series.
 func (d *Dataset) PowerColumn(s power.Subsystem) []float64 {
-	out := make([]float64, len(d.Rows))
-	for i, r := range d.Rows {
-		out[i] = r.Power[s]
+	return d.PowerColumnInto(s, nil)
+}
+
+// PowerColumnInto is PowerColumn writing into buf (grown if too small),
+// for callers that extract several columns in a row — reusing one buffer
+// across the five subsystems turns five allocations per workload into
+// one. Rows are indexed in place rather than ranged over by value: a Row
+// embeds the full counter sample, so the value copy cost more than the
+// column extraction itself.
+func (d *Dataset) PowerColumnInto(s power.Subsystem, buf []float64) []float64 {
+	if cap(buf) < len(d.Rows) {
+		buf = make([]float64, len(d.Rows))
 	}
-	return out
+	buf = buf[:len(d.Rows)]
+	for i := range d.Rows {
+		buf[i] = d.Rows[i].Power[s]
+	}
+	return buf
 }
 
 // Skip returns a dataset without the first n rows (warmup trimming).

@@ -164,41 +164,49 @@ func PrefetchCoverage(prefetchability, busUtil float64) float64 {
 }
 
 // Step advances the processor one slice. cycles is the slice's core cycle
-// count; d0 and d1 are the demands of its two hardware threads; busUtil
-// is the previous slice's front-side-bus utilization (the prefetcher's
-// feedback input). Event counts are accumulated into the PMU and a
-// SliceStats summary is returned.
-func (p *Processor) Step(cycles float64, d0, d1 workload.Demand, busUtil float64) SliceStats {
+// count; d0 and d1 are the demands of its two hardware threads (read,
+// never written — callers may pass long-lived buffers); busUtil is the
+// previous slice's front-side-bus utilization (the prefetcher's feedback
+// input). Event counts are accumulated into the PMU and a SliceStats
+// summary is returned. Demands are passed by pointer because Step runs
+// once per processor per slice and the struct copies dominated the whole
+// simulator's CPU profile.
+func (p *Processor) Step(cycles float64, d0, d1 *workload.Demand, busUtil float64) SliceStats {
 	var st SliceStats
 	// DVFS: the slice contains fewer core cycles at a reduced clock.
 	cycles *= p.freqScale
 	st.Cycles = cycles
 	st.FreqScale = p.freqScale
 	// Instruction throttling idles the processor for part of the slice
-	// regardless of demand.
+	// regardless of demand. The scaled activity lives in locals so the
+	// caller's demand structs stay untouched.
+	a0, a1 := d0.Active, d1.Active
 	if p.throttle > 0 {
 		duty := 1 - p.throttle
-		d0.Active *= duty
-		d1.Active *= duty
+		a0 *= duty
+		a1 *= duty
 	}
 	// The processor is halted only when both threads are idle; thread
 	// activity overlaps randomly, so the unhalted fraction composes as
 	// independent events.
-	act := 1 - (1-d0.Active)*(1-d1.Active)
+	act := 1 - (1-a0)*(1-a1)
 	st.ActiveFrac = act
 	st.HaltedCycles = cycles * (1 - act)
 
 	var totalMemTx, writeTx, locTx float64
-	for _, pair := range [2][2]workload.Demand{{d0, d1}, {d1, d0}} {
-		d, sibling := pair[0], pair[1]
-		if d.Active == 0 {
+	for k := 0; k < 2; k++ {
+		d, dAct, sibAct := d0, a0, a1
+		if k == 1 {
+			d, dAct, sibAct = d1, a1, a0
+		}
+		if dAct == 0 {
 			continue
 		}
 		// SMT fetch sharing: the sibling steals bandwidth while it runs.
-		share := 1 - SMTPenalty*sibling.Active
-		uops := cycles * d.Active * d.UopsPerCycle * share
+		share := 1 - SMTPenalty*sibAct
+		uops := cycles * dAct * d.UopsPerCycle * share
 		st.FetchedUops += uops
-		st.SpecUops += cycles * d.Active * d.SpecActivity * share
+		st.SpecUops += cycles * dAct * d.SpecActivity * share
 		st.L2Accesses += uops * d.L2PerUop
 
 		misses := uops * d.L3MissPerKuop / 1000
@@ -212,7 +220,7 @@ func (p *Processor) Step(cycles float64, d0, d1 workload.Demand, busUtil float64
 		st.Writebacks += writebacks
 		st.PrefetchBusTx += prefetch
 		st.TLBMisses += uops * d.TLBMissPerMuop / 1e6
-		st.UCAccesses += cycles * d.Active * d.UCPerMcycle / 1e6
+		st.UCAccesses += cycles * dAct * d.UCPerMcycle / 1e6
 
 		tx := demandMisses + writebacks + prefetch
 		totalMemTx += tx

@@ -12,8 +12,8 @@ import (
 
 const testCycles = 2.8e6 // one 1 ms slice at 2.8 GHz
 
-func busyDemand() workload.Demand {
-	return workload.Demand{
+func busyDemand() *workload.Demand {
+	return &workload.Demand{
 		Active:          1,
 		UopsPerCycle:    1.2,
 		SpecActivity:    0.5,
@@ -47,7 +47,7 @@ func programAll(t *testing.T, p *Processor) {
 
 func TestIdleProcessorIsHalted(t *testing.T) {
 	p := newProc()
-	st := p.Step(testCycles, workload.Demand{}, workload.Demand{}, 0)
+	st := p.Step(testCycles, &workload.Demand{}, &workload.Demand{}, 0)
 	if st.HaltedCycles != testCycles {
 		t.Errorf("HaltedCycles = %v, want %v", st.HaltedCycles, testCycles)
 	}
@@ -86,7 +86,7 @@ func TestHalfActiveComposition(t *testing.T) {
 
 func TestSMTSharingReducesPerThreadThroughput(t *testing.T) {
 	p := newProc()
-	single := p.Step(testCycles, busyDemand(), workload.Demand{}, 0)
+	single := p.Step(testCycles, busyDemand(), &workload.Demand{}, 0)
 	p2 := newProc()
 	dual := p2.Step(testCycles, busyDemand(), busyDemand(), 0)
 	if dual.FetchedUops <= single.FetchedUops {
@@ -197,13 +197,13 @@ func TestCountsScaleWithDemand(t *testing.T) {
 	// Doubling the miss rate should roughly double bus traffic.
 	d1 := busyDemand()
 	d1.Prefetchability = 0
-	d2 := d1
+	d2 := *d1
 	d2.L3MissPerKuop *= 2
 	p1, p2 := newProc(), newProc()
 	var tx1, tx2 float64
 	for i := 0; i < 500; i++ {
-		tx1 += p1.Step(testCycles, d1, workload.Demand{}, 0).TotalBusTx()
-		tx2 += p2.Step(testCycles, d2, workload.Demand{}, 0).TotalBusTx()
+		tx1 += p1.Step(testCycles, d1, &workload.Demand{}, 0).TotalBusTx()
+		tx2 += p2.Step(testCycles, &d2, &workload.Demand{}, 0).TotalBusTx()
 	}
 	ratio := tx2 / tx1
 	if ratio < 1.7 || ratio > 2.1 {
@@ -242,7 +242,7 @@ func TestStatsInvariants(t *testing.T) {
 			WriteFrac:       rr.Float64(),
 		}
 		p := New(0, rr)
-		st := p.Step(testCycles, d, d, rr.Float64())
+		st := p.Step(testCycles, &d, &d, rr.Float64())
 		if st.HaltedCycles < 0 || st.HaltedCycles > testCycles {
 			return false
 		}
@@ -309,7 +309,7 @@ func TestFreqScaleClampAndEffect(t *testing.T) {
 		t.Errorf("FreqScale ceiling = %v", p.FreqScale())
 	}
 	p.SetFreqScale(0.5)
-	st := p.Step(testCycles, busyDemand(), workload.Demand{}, 0)
+	st := p.Step(testCycles, busyDemand(), &workload.Demand{}, 0)
 	if st.Cycles != testCycles*0.5 {
 		t.Errorf("scaled Cycles = %v, want %v", st.Cycles, testCycles*0.5)
 	}

@@ -20,10 +20,10 @@ import (
 	"trickledown/internal/telemetry"
 )
 
-// DAQ telemetry, summed across every instrument in the process. All
-// three counters sit on the per-slice acquisition path, so they are
-// single atomic adds: one per Acquire call for samples, one per closed
-// window, and one per (rare) full-scale clip.
+// DAQ telemetry, summed across every instrument in the process. The
+// sample and clip counters sit on the per-slice acquisition path, so
+// each instrument accumulates them in plain locals and flushes one
+// atomic add per closed window (and on Records) instead of per slice.
 var (
 	mSamples = telemetry.NewCounter("daq_samples_total",
 		"per-channel ADC samples captured (aggregated per slice)")
@@ -98,6 +98,22 @@ type DAQ struct {
 	daqTime float64
 	records []Record
 	fault   FaultInjector
+
+	// Pending telemetry, flushed per window rather than per slice.
+	pendingSamples uint64
+	pendingClips   uint64
+}
+
+// flushTelemetry publishes the batched per-slice counters.
+func (d *DAQ) flushTelemetry() {
+	if d.pendingSamples > 0 {
+		mSamples.Add(d.pendingSamples)
+		d.pendingSamples = 0
+	}
+	if d.pendingClips > 0 {
+		mClips.Add(d.pendingClips)
+		d.pendingClips = 0
+	}
 }
 
 // SetFaultInjector installs a fault injector between the sense resistors
@@ -143,7 +159,7 @@ func (d *DAQ) Acquire(sliceSec float64, truth power.Reading) {
 		d.sum[i] += d.quantize(v) * k
 	}
 	d.n += int64(k)
-	mSamples.Add(uint64(k))
+	d.pendingSamples += uint64(k)
 	d.daqTime += sliceSec * (1 + d.cfg.ClockSkewPPM*1e-6)
 }
 
@@ -151,10 +167,10 @@ func (d *DAQ) Acquire(sliceSec float64, truth power.Reading) {
 func (d *DAQ) quantize(w float64) float64 {
 	if w < 0 {
 		w = 0
-		mClips.Inc()
+		d.pendingClips++
 	} else if w > d.cfg.FullScaleWatts {
 		w = d.cfg.FullScaleWatts
-		mClips.Inc()
+		d.pendingClips++
 	}
 	return math.Round(w/d.step) * d.step
 }
@@ -165,6 +181,7 @@ func (d *DAQ) quantize(w float64) float64 {
 // edge, in which case the open window keeps accumulating into the next
 // interval — exactly what a flaky sync line does to the real apparatus.
 func (d *DAQ) SyncPulse() {
+	d.flushTelemetry()
 	if d.fault != nil && d.fault.DropSync(d.daqTime) {
 		mSyncsDropped.Inc()
 		return
@@ -186,5 +203,10 @@ func (d *DAQ) SyncPulse() {
 	d.n = 0
 }
 
-// Records returns the closed windows in arrival order.
-func (d *DAQ) Records() []Record { return d.records }
+// Records returns the closed windows in arrival order. It also flushes
+// any telemetry batched since the last sync pulse, so a run that stops
+// mid-window still reports every sample it acquired.
+func (d *DAQ) Records() []Record {
+	d.flushTelemetry()
+	return d.records
+}

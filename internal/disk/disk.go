@@ -115,9 +115,13 @@ type active struct {
 
 // Disk is one spindle.
 type Disk struct {
-	rng    *sim.RNG
-	queue  []Request
-	cur    *active
+	rng   *sim.RNG
+	queue []Request
+	// cur is the in-flight request; busy says whether it is valid. It is
+	// embedded by value (not a pointer) so the per-request hot path of a
+	// loaded disk allocates nothing.
+	cur    active
+	busy   bool
 	policy PowerPolicy
 	// power-management state
 	idleFor    float64 // continuous idle time while spinning
@@ -153,7 +157,7 @@ func (d *Disk) start() {
 	r := d.queue[0]
 	copy(d.queue, d.queue[1:])
 	d.queue = d.queue[:len(d.queue)-1]
-	a := &active{req: r, xferLeft: r.Bytes / TransferRate}
+	a := active{req: r, xferLeft: r.Bytes / TransferRate}
 	if r.Sequential {
 		a.seekLeft = trackSeekSec * d.rng.Jitter(1, 0.5)
 		a.rotLeft = settleSec * d.rng.Jitter(1, 0.5)
@@ -162,6 +166,7 @@ func (d *Disk) start() {
 		a.rotLeft = d.rng.Float64() * 2 * halfRevSec
 	}
 	d.cur = a
+	d.busy = true
 }
 
 // Step advances the disk by sliceSec seconds, walking the in-flight
@@ -192,7 +197,7 @@ func (d *Disk) Step(sliceSec float64) Stats {
 			st.Spinups++
 			continue
 		}
-		if d.cur == nil {
+		if !d.busy {
 			if len(d.queue) == 0 {
 				if d.policy.SpindownAfterSec > 0 {
 					// Accumulate idleness toward the spindown timeout.
@@ -213,7 +218,7 @@ func (d *Disk) Step(sliceSec float64) Stats {
 			d.idleFor = 0
 			d.start()
 		}
-		a := d.cur
+		a := &d.cur
 		switch {
 		case a.seekLeft > 0:
 			dt := min(a.seekLeft, left)
@@ -238,7 +243,7 @@ func (d *Disk) Step(sliceSec float64) Stats {
 			}
 			if a.xferLeft <= 1e-12 {
 				st.Completions++
-				d.cur = nil
+				d.busy = false
 				d.idleFor = 0
 			}
 		}
@@ -297,7 +302,7 @@ func (c *Controller) Submit(r Request) {
 // Pending reports whether any request is queued or in flight.
 func (c *Controller) Pending() bool {
 	for _, d := range c.disks {
-		if d.cur != nil || d.QueueLen() > 0 {
+		if d.busy || d.QueueLen() > 0 {
 			return true
 		}
 	}

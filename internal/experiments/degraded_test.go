@@ -93,6 +93,46 @@ func TestCharacterizeDegradesFailedCells(t *testing.T) {
 	}
 }
 
+// TestFullyDegradedTableAverageIsNA: when every validation run fails
+// after a healthy training pass, the average row must degrade to n/a
+// like its inputs — not divide by zero or claim a spurious 0.0% error.
+func TestFullyDegradedTableAverageIsNA(t *testing.T) {
+	r := NewRunner(Options{Seed: 100, TrainSeed: 10, Scale: 0.01, Workers: 4})
+	// Train while the datasets are healthy...
+	if _, err := r.Estimator(); err != nil {
+		t.Fatal(err)
+	}
+	// ...then lose every validation run.
+	r.failDataset = func(wl string) error {
+		return fmt.Errorf("injected: %s run lost", wl)
+	}
+	tab, err := r.Table3()
+	if err != nil {
+		t.Fatalf("a fully degraded table should still render, got %v", err)
+	}
+	for _, row := range tab.Rows {
+		for j, v := range row.Ours {
+			if !math.IsNaN(v) {
+				t.Errorf("%s cell %d = %v, want NaN", row.Workload, j, v)
+			}
+		}
+	}
+	avg := tab.Row("average")
+	if avg == nil {
+		t.Fatal("average row missing")
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "n/a") || strings.Contains(b.String(), "NaN") {
+		t.Errorf("render:\n%s", b.String())
+	}
+	if r.CellErrors() == nil {
+		t.Error("CellErrors lost the failures")
+	}
+}
+
 // TestTrainingFailureIsStillFatal: losing a training trace leaves
 // nothing to validate against, so the table fails outright rather than
 // rendering all-n/a noise.

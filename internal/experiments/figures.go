@@ -48,9 +48,14 @@ func (r *Runner) modelFigure(title, wl string, seconds float64, m *core.Model, d
 func figureFromDataset(title string, ds *align.Dataset, m *core.Model, dcRemove float64) (*Figure, error) {
 	measured, modeled := m.Trace(ds)
 	tr := trace.New(title)
+	// Resolve the series once and size them to the run horizon; the
+	// per-row loop then appends without lookups or reallocation.
+	tr.Preallocate(len(measured))
+	sMeasured := tr.Add("Measured")
+	sModeled := tr.Add("Modeled")
 	for i := range measured {
-		tr.Append("Measured", measured[i])
-		tr.Append("Modeled", modeled[i])
+		sMeasured.Append(measured[i])
+		sModeled.Append(modeled[i])
 	}
 	var avg float64
 	var err error
@@ -111,6 +116,10 @@ func (r *Runner) Figure4() (*trace.Trace, error) {
 		return nil, err
 	}
 	tr := trace.New("Figure 4: Prefetch and Non-Prefetch Bus Transactions - mcf (tx per Mcycle)")
+	tr.Preallocate(len(ds.Rows))
+	sAll := tr.Add("All")
+	sNonPf := tr.Add("Non-Prefetch")
+	sPf := tr.Add("Prefetch")
 	for i := range ds.Rows {
 		m := core.ExtractMetrics(&ds.Rows[i].Counters)
 		var all, pf float64
@@ -118,9 +127,9 @@ func (r *Runner) Figure4() (*trace.Trace, error) {
 			all += m.BusTxPMC[c]
 			pf += m.PrefetchPMC[c]
 		}
-		tr.Append("All", all)
-		tr.Append("Non-Prefetch", all-pf)
-		tr.Append("Prefetch", pf)
+		sAll.Append(all)
+		sNonPf.Append(all - pf)
+		sPf.Append(pf)
 	}
 	return tr, nil
 }

@@ -7,6 +7,7 @@ import (
 	"math"
 	"strings"
 
+	"trickledown/internal/align"
 	"trickledown/internal/power"
 	"trickledown/internal/stats"
 	"trickledown/internal/telemetry"
@@ -91,6 +92,14 @@ func subsystemColumns() []string {
 	return out
 }
 
+// Shared read-only column headers and row order, built once instead of
+// per table.
+var (
+	subsysCols      = subsystemColumns()
+	subsysTotalCols = append(subsystemColumns(), "Total")
+	tableNames      = workload.TableOrder()
+)
+
 // sustainedWindow returns the first dataset row index at which all of a
 // workload's staggered instances are running (plus settling time),
 // clamped so at least the last third of the trace is always used.
@@ -116,43 +125,54 @@ func naRow() []float64 {
 
 // characterize runs every workload (in parallel on the runner's worker
 // pool) and applies fn to the sustained window of each subsystem's
-// measured power series. Each item writes only its own slot, so the
-// result is independent of scheduling order. A workload whose run fails
-// degrades to an n/a row (recorded in CellErrors) instead of losing the
-// whole table.
-func (r *Runner) characterize(fn func([]float64) float64) (map[string][]float64, error) {
-	names := workload.TableOrder()
+// measured power series. The result is indexed like workload.TableOrder.
+// Each item writes only its own slot, so the result is independent of
+// scheduling order. A workload whose run fails degrades to an n/a row
+// (recorded in CellErrors) instead of losing the whole table.
+func (r *Runner) characterize(fn func([]float64) float64) ([][]float64, error) {
+	names := tableNames
+	// One backing slab for every workload's row: each worker writes only
+	// its own non-overlapping window, and the table build downstream never
+	// appends through these slices.
+	backing := make([]float64, len(names)*power.NumSubsystems)
 	vals := make([][]float64, len(names))
+	for i := range vals {
+		vals[i] = backing[i*power.NumSubsystems : (i+1)*power.NumSubsystems : (i+1)*power.NumSubsystems]
+	}
+	naFill := func(row []float64) {
+		for j := range row {
+			row[j] = math.NaN()
+		}
+	}
 	err := r.p.Run(context.Background(), len(names), func(_ context.Context, i int) error {
 		name := names[i]
 		spec, err := r.scaledSpec(name)
 		if err != nil {
-			vals[i] = naRow()
+			naFill(vals[i])
 			r.recordCellErr(fmt.Errorf("experiments: characterizing %s: %w", name, err))
 			return nil
 		}
 		ds, err := r.validation(name)
 		if err != nil {
-			vals[i] = naRow()
+			naFill(vals[i])
 			r.recordCellErr(fmt.Errorf("experiments: characterizing %s: %w", name, err))
 			return nil
 		}
-		ds = ds.Skip(sustainedWindow(spec, ds.Len()))
-		row := make([]float64, 0, power.NumSubsystems)
-		for _, s := range power.Subsystems() {
-			row = append(row, fn(ds.PowerColumn(s)))
+		// Trim the warmup window without Skip's heap-allocated dataset:
+		// a stack value over the shared rows is all the column
+		// extraction needs.
+		win := align.Dataset{Rows: ds.Rows[sustainedWindow(spec, ds.Len()):]}
+		var col []float64 // one scratch column, reused across subsystems
+		for j, s := range power.Subsystems() {
+			col = win.PowerColumnInto(s, col)
+			vals[i][j] = fn(col)
 		}
-		vals[i] = row
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[string][]float64, len(names))
-	for i, name := range names {
-		out[name] = vals[i]
-	}
-	return out, nil
+	return vals, nil
 }
 
 // Table1 regenerates "Subsystem Average Power (Watts)", including the
@@ -167,10 +187,22 @@ func (r *Runner) Table1() (*Table, error) {
 	}
 	t := &Table{
 		Title:   "Table 1: Subsystem Average Power (Watts)",
-		Columns: append(subsystemColumns(), "Total"),
+		Columns: subsysTotalCols,
 	}
-	for _, name := range workload.TableOrder() {
-		ours := means[name]
+	names := tableNames
+	t.Rows = make([]TableRow, 0, len(names))
+	// Both value series of every row carved from one slab; the full-cap
+	// reslices keep later appends from clobbering earlier rows.
+	cols := power.NumSubsystems + 1
+	slab := make([]float64, 0, 2*cols*len(names))
+	carve := func(vals []float64, extra float64) []float64 {
+		start := len(slab)
+		slab = append(slab, vals...)
+		slab = append(slab, extra)
+		return slab[start:len(slab):len(slab)]
+	}
+	for k, name := range names {
+		ours := means[k]
 		total := 0.0
 		for _, v := range ours {
 			total += v
@@ -178,8 +210,8 @@ func (r *Runner) Table1() (*Table, error) {
 		paper := PaperTable1[name]
 		t.Rows = append(t.Rows, TableRow{
 			Workload: name,
-			Ours:     append(append([]float64{}, ours...), total),
-			Paper:    append(paper[:], PaperTable1Total[name]),
+			Ours:     carve(ours, total),
+			Paper:    carve(paper[:], PaperTable1Total[name]),
 		})
 	}
 	return t, nil
@@ -194,11 +226,13 @@ func (r *Runner) Table2() (*Table, error) {
 	}
 	t := &Table{
 		Title:   "Table 2: Subsystem Power Standard Deviation (Watts)",
-		Columns: subsystemColumns(),
+		Columns: subsysCols,
 	}
-	for _, name := range workload.TableOrder() {
+	names := tableNames
+	t.Rows = make([]TableRow, 0, len(names))
+	for k, name := range names {
 		paper := PaperTable2[name]
-		t.Rows = append(t.Rows, TableRow{Workload: name, Ours: sds[name], Paper: paper[:]})
+		t.Rows = append(t.Rows, TableRow{Workload: name, Ours: sds[k], Paper: paper[:]})
 	}
 	return t, nil
 }
@@ -237,7 +271,7 @@ func (r *Runner) errorTable(title string, names []string, paper map[string][5]fl
 	if _, err := r.Estimator(); err != nil {
 		return nil, err
 	}
-	t := &Table{Title: title, Columns: subsystemColumns()}
+	t := &Table{Title: title, Columns: subsysCols}
 	t.Rows = make([]TableRow, len(names))
 	err := r.p.Run(context.Background(), len(names), func(_ context.Context, i int) error {
 		name := names[i]

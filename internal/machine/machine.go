@@ -263,6 +263,7 @@ func newServer(cfg Config, placements []Placement, lookup func(string) (workload
 	for i := 0; i < cfg.NumCPUs; i++ {
 		s.procs = append(s.procs, cpu.New(i, rng))
 	}
+	s.lastCPU = make([]cpu.SliceStats, cfg.NumCPUs)
 	s.os = osmodel.New(osmodel.DefaultConfig(cfg.NumCPUs), s.io, s.ctl, rng)
 	s.dq = daq.New(cfg.DAQ, rng)
 	s.drift = newRailDrift(rng)
@@ -433,13 +434,8 @@ func (s *Server) step(c *sim.Clock) {
 	var cpuTruth float64
 	var tr mem.Traffic
 	var writeTx, locTx, classTx float64
-	if s.lastCPU == nil {
-		s.lastCPU = make([]cpu.SliceStats, len(s.procs))
-	}
 	for i, p := range s.procs {
-		d0 := s.demands[2*i]
-		d1 := s.demands[2*i+1]
-		st := p.Step(cycles, d0, d1, s.busUtil)
+		st := p.Step(cycles, &s.demands[2*i], &s.demands[2*i+1], s.busUtil)
 		s.lastCPU[i] = st
 		cpuTruth += s.profile.CPU(st)
 		tr.CPUTx += st.DemandBusTx

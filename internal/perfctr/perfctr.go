@@ -235,7 +235,8 @@ func (s *Sampler) fire(now float64) {
 	}
 	for i, p := range s.pmus {
 		c := &sample.CPUs[i]
-		dst := []*uint64{
+		// A fixed-size array keeps the per-sample slot table off the heap.
+		dst := [...]*uint64{
 			&c.Cycles, &c.HaltedCycles, &c.FetchedUops, &c.L3LoadMisses,
 			&c.L3Misses, &c.TLBMisses, &c.BusTx, &c.BusPrefetchTx,
 			&c.DMAOther, &c.Uncacheable,

@@ -260,11 +260,37 @@ func TestRunRetryBackoffHonorsCancellation(t *testing.T) {
 		if !strings.Contains(err.Error(), "always fails") {
 			t.Errorf("err = %v, want the attempt error preserved", err)
 		}
-		if elapsed := time.Since(start); elapsed > 10*time.Second {
+		// The schedule is an hour per wait; a context-aware backoff
+		// returns in milliseconds. Two seconds of slack absorbs CI noise
+		// while still failing any path that actually sleeps.
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
 			t.Errorf("backoff ignored cancellation (took %v)", elapsed)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("RunRetry hung in backoff after cancellation")
+	}
+}
+
+// TestRunRetryZeroDelayStopsWhenCancelled covers the no-backoff retry
+// path: with a zero delay there is no timer to interrupt, so the loop
+// must still notice a dead context between attempts instead of burning
+// through the remaining attempts.
+func TestRunRetryZeroDelayStopsWhenCancelled(t *testing.T) {
+	p := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	err := p.RunRetry(ctx, 1, Retry{Attempts: 100},
+		func(context.Context, int) error {
+			if calls.Add(1) == 2 {
+				cancel()
+			}
+			return fmt.Errorf("always fails")
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled in the join", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("attempts after cancellation = %d, want 2", n)
 	}
 }
 

@@ -2,6 +2,7 @@ package report
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -65,14 +66,19 @@ func TestMarkdownTable(t *testing.T) {
 		Rows: []experiments.TableRow{
 			{Workload: "x", Ours: []float64{1, 2}, Paper: []float64{1.5, 2.5}},
 			{Workload: "y", Ours: []float64{3, 4}},
+			{Workload: "z", Ours: []float64{math.NaN(), math.NaN()}},
 		},
 	}
 	var b strings.Builder
 	MarkdownTable(&b, tbl, "widgets")
 	out := b.String()
+	if strings.Contains(out, "NaN") {
+		t.Errorf("failed cells must render n/a, not NaN:\n%s", out)
+	}
 	for _, want := range []string{
 		"## Demo", "| workload | series | A | B |", "| x | ours | 1.00 | 2.00 |",
-		"|  | paper | 1.50 | 2.50 |", "| y | ours | 3.00 | 4.00 |", "Values in widgets.",
+		"|  | paper | 1.50 | 2.50 |", "| y | ours | 3.00 | 4.00 |",
+		"| z | ours | n/a | n/a |", "Values in widgets.",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("markdown missing %q:\n%s", want, out)

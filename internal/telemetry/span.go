@@ -16,7 +16,8 @@ var (
 
 // Span is one timed run phase. Create with StartSpan, finish with End.
 // A Span is not reusable and End must be called exactly once (typically
-// `defer telemetry.StartSpan("x").End()`).
+// `defer telemetry.StartSpan("x").End()`). It is a small value, not a
+// pointer, so spans on hot paths cost no heap allocation.
 type Span struct {
 	name  string
 	start time.Time
@@ -25,14 +26,14 @@ type Span struct {
 // StartSpan opens a named phase timer ("cluster.run",
 // "experiments.table1", ...). The name becomes the span label on the
 // shared span_duration_seconds family.
-func StartSpan(name string) *Span {
+func StartSpan(name string) Span {
 	spanStarts.With(name).Inc()
 	spansActive.Add(1)
-	return &Span{name: name, start: time.Now()}
+	return Span{name: name, start: time.Now()}
 }
 
 // End closes the span, records its duration and returns it.
-func (s *Span) End() time.Duration {
+func (s Span) End() time.Duration {
 	d := time.Since(s.start)
 	spansActive.Add(-1)
 	spanDurations.With(s.name).Observe(d.Seconds())
@@ -40,4 +41,4 @@ func (s *Span) End() time.Duration {
 }
 
 // Name returns the span's name.
-func (s *Span) Name() string { return s.name }
+func (s Span) Name() string { return s.name }

@@ -24,11 +24,51 @@ import (
 // ErrNoSeries is returned when rendering a trace with no data.
 var ErrNoSeries = errors.New("trace: no series")
 
+// minSeriesCap is the smallest capacity a growing series allocates, so
+// short traces don't pay a doubling ladder of tiny reallocations.
+const minSeriesCap = 64
+
 // Series is one named sequence of samples at a fixed 1 Hz rate (the
 // paper's sampling rate), indexed by second.
 type Series struct {
 	Name   string
 	Values []float64
+	// Grows counts capacity reallocations performed by Append/Reserve.
+	// Growth is geometric (doubling), so appending n samples one at a
+	// time performs O(log n) grows — and zero when the trace was
+	// preallocated to the run horizon. Exposed so regression tests can
+	// assert the bound.
+	Grows int
+}
+
+// Reserve ensures capacity for at least n total samples, doubling from
+// the current capacity so repeated appends reallocate O(log n) times.
+func (s *Series) Reserve(n int) {
+	if n <= cap(s.Values) {
+		return
+	}
+	c := cap(s.Values)
+	if c < minSeriesCap {
+		c = minSeriesCap
+	}
+	for c < n {
+		c *= 2
+	}
+	vals := make([]float64, len(s.Values), c)
+	copy(vals, s.Values)
+	s.Values = vals
+	s.Grows++
+}
+
+// Append adds one sample, growing capacity geometrically when full.
+// Appending through a Series handle obtained once from Add skips the
+// per-sample name lookup of Trace.Append — the form the per-row figure
+// loops use.
+func (s *Series) Append(v float64) {
+	if len(s.Values) == cap(s.Values) {
+		s.Reserve(len(s.Values) + 1)
+	}
+	s.Values = append(s.Values, v)
 }
 
 // Trace is a set of series sharing a time base. It is not safe for
@@ -43,6 +83,21 @@ type Trace struct {
 	// Insertion order — what CSV columns and plot legends use — is
 	// still carried by the slice.
 	index map[string]int
+	// horizon is the expected sample count set by Preallocate; series
+	// created after the call start at this capacity.
+	horizon int
+}
+
+// Preallocate sizes every series (current and future) for n samples, so
+// a run with a known horizon appends without any mid-run reallocation.
+func (t *Trace) Preallocate(n int) {
+	if n <= 0 {
+		return
+	}
+	t.horizon = n
+	for _, s := range t.series {
+		s.Reserve(n)
+	}
 }
 
 // New returns an empty trace with the given title.
@@ -59,15 +114,19 @@ func (t *Trace) Add(name string) *Series {
 		return t.series[i]
 	}
 	s := &Series{Name: name}
+	if t.horizon > 0 {
+		s.Values = make([]float64, 0, t.horizon)
+	}
 	t.index[name] = len(t.series)
 	t.series = append(t.series, s)
 	return s
 }
 
 // Append appends one value to the named series, creating it if needed.
+// Inner loops should hoist the lookup: s := t.Add(name) once, then
+// s.Append(v) per sample.
 func (t *Trace) Append(name string, v float64) {
-	s := t.Add(name)
-	s.Values = append(s.Values, v)
+	t.Add(name).Append(v)
 }
 
 // Series returns the named series, or nil if absent.

@@ -291,3 +291,47 @@ func TestPerGoroutineTracesRace(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestSeriesGrowthIsLogarithmic pins the geometric-growth contract at
+// the paper's largest figure scale (the ~29-minute Figure 5 mcf sweep,
+// 1740 one-hertz samples): appending one sample at a time must
+// reallocate O(log n) times, never per append.
+func TestSeriesGrowthIsLogarithmic(t *testing.T) {
+	const n = 1740
+	tr := New("growth")
+	s := tr.Add("Measured")
+	for i := 0; i < n; i++ {
+		s.Append(float64(i))
+	}
+	if len(s.Values) != n {
+		t.Fatalf("len = %d, want %d", len(s.Values), n)
+	}
+	// Doubling from minSeriesCap: 64 -> 128 -> ... -> 2048 is 6 grows.
+	maxGrows := 1
+	for c := minSeriesCap; c < n; c *= 2 {
+		maxGrows++
+	}
+	if s.Grows > maxGrows {
+		t.Errorf("appending %d samples grew %d times, want <= %d (geometric)", n, s.Grows, maxGrows)
+	}
+	if s.Grows == 0 {
+		t.Error("expected at least one grow without preallocation")
+	}
+
+	// A run with a known horizon preallocates and never grows mid-run,
+	// for series created before and after the Preallocate call.
+	pre := New("preallocated")
+	before := pre.Add("Measured")
+	pre.Preallocate(n)
+	after := pre.Add("Modeled")
+	for i := 0; i < n; i++ {
+		before.Append(float64(i))
+		after.Append(float64(i))
+	}
+	if before.Grows != 1 { // the single Reserve(n) from Preallocate
+		t.Errorf("pre-existing series grew %d times, want 1 (the Preallocate reserve)", before.Grows)
+	}
+	if after.Grows != 0 {
+		t.Errorf("horizon-sized series grew %d times, want 0", after.Grows)
+	}
+}

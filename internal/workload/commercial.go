@@ -19,19 +19,23 @@ type dbt2Gen struct {
 
 func (g *dbt2Gen) Name() string { return "dbt-2" }
 
+// dbt2Base is the constant part of a transaction's demand, hoisted out
+// of the per-slice path.
+var dbt2Base = Demand{
+	UopsPerCycle:   1.05,
+	SpecActivity:   0.40,
+	L2PerUop:       1.0,
+	L3MissPerKuop:  1.9,
+	DirtyEvictFrac: 0.40,
+	TLBMissPerMuop: 150,
+	UCPerMcycle:    30,
+	WriteFrac:      0.40,
+	MemLocality:    0.50,
+}
+
 func (g *dbt2Gen) Demand(t float64, env Env, rng *sim.RNG) Demand {
 	const slice = 0.001
-	d := Demand{
-		UopsPerCycle:   1.05,
-		SpecActivity:   0.40,
-		L2PerUop:       1.0,
-		L3MissPerKuop:  1.9,
-		DirtyEvictFrac: 0.40,
-		TLBMissPerMuop: 150,
-		UCPerMcycle:    30,
-		WriteFrac:      0.40,
-		MemLocality:    0.50,
-	}
+	d := dbt2Base
 	// Alternate short transaction bursts with long waits for random I/O.
 	if g.burstLeft > 0 {
 		g.burstLeft -= slice
@@ -131,16 +135,19 @@ type idleGen struct{}
 
 func (idleGen) Name() string { return "idle" }
 
+// idleBase is the timer tick's sliver of CPU, constant across slices.
+var idleBase = Demand{
+	Active:       0.004,
+	UopsPerCycle: 0.6,
+	SpecActivity: 0.05,
+	L2PerUop:     0.5,
+	UCPerMcycle:  2,
+	WriteFrac:    0.3,
+}
+
 func (idleGen) Demand(t float64, env Env, rng *sim.RNG) Demand {
 	// The OS timer tick itself costs a sliver of CPU.
-	return Demand{
-		Active:       0.004,
-		UopsPerCycle: 0.6,
-		SpecActivity: 0.05,
-		L2PerUop:     0.5,
-		UCPerMcycle:  2,
-		WriteFrac:    0.3,
-	}
+	return idleBase
 }
 
 func init() {
@@ -186,6 +193,31 @@ const diskLoadDirtyRate = 30e6
 
 func (g *diskLoadGen) Name() string { return "diskload" }
 
+// diskLoadFlushBase is the demand of a thread blocked in sync();
+// diskLoadWriteBase the constant part of the overwrite phase (jittered
+// fields overwritten per slice). Both hoisted off the per-slice path.
+var (
+	diskLoadFlushBase = Demand{
+		Active:        0.06,
+		UopsPerCycle:  0.7,
+		SpecActivity:  0.1,
+		L2PerUop:      0.6,
+		L3MissPerKuop: 0.4,
+		WriteFrac:     0.3,
+	}
+	diskLoadWriteBase = Demand{
+		Active:          0.92,
+		SpecActivity:    0.30,
+		L2PerUop:        1.1,
+		DirtyEvictFrac:  0.90, // overwriting whole pages: write-allocate + writeback
+		Prefetchability: 0.60,
+		TLBMissPerMuop:  70,
+		UCPerMcycle:     10,
+		WriteFrac:       0.75,
+		MemLocality:     0.50,
+	}
+)
+
 func (g *diskLoadGen) Demand(t float64, env Env, rng *sim.RNG) Demand {
 	const slice = 0.001
 	if g.flushWait > 0 {
@@ -199,31 +231,14 @@ func (g *diskLoadGen) Demand(t float64, env Env, rng *sim.RNG) Demand {
 			g.writtenBytes = 0
 			g.syncIssued = false
 		}
-		return Demand{
-			Active:        0.06,
-			UopsPerCycle:  0.7,
-			SpecActivity:  0.1,
-			L2PerUop:      0.6,
-			L3MissPerKuop: 0.4,
-			WriteFrac:     0.3,
-		}
+		return diskLoadFlushBase
 	}
 	wrote := g.dirtyRate * slice * rng.Jitter(1, 0.1)
 	g.writtenBytes += wrote
-	d := Demand{
-		Active:          0.92,
-		UopsPerCycle:    rng.Jitter(1.25, 0.04),
-		SpecActivity:    0.30,
-		L2PerUop:        1.1,
-		L3MissPerKuop:   rng.Jitter(1.75, 0.05),
-		DirtyEvictFrac:  0.90, // overwriting whole pages: write-allocate + writeback
-		Prefetchability: 0.60,
-		TLBMissPerMuop:  70,
-		UCPerMcycle:     10,
-		WriteFrac:       0.75,
-		MemLocality:     0.50,
-		DiskWriteBytes:  wrote,
-	}
+	d := diskLoadWriteBase
+	d.UopsPerCycle = rng.Jitter(1.25, 0.04)
+	d.L3MissPerKuop = rng.Jitter(1.75, 0.05)
+	d.DiskWriteBytes = wrote
 	if g.writtenBytes >= g.syncBytes && !g.syncIssued {
 		d.Sync = true
 		g.syncIssued = true

@@ -23,20 +23,24 @@ const (
 
 func (g *netloadGen) Name() string { return "netload" }
 
+// netloadBase is the constant part of a request's demand, hoisted out of
+// the per-slice path.
+var netloadBase = Demand{
+	UopsPerCycle:    1.15,
+	SpecActivity:    0.40,
+	L2PerUop:        0.9,
+	L3MissPerKuop:   1.1,
+	DirtyEvictFrac:  0.35,
+	Prefetchability: 0.40,
+	TLBMissPerMuop:  80,
+	UCPerMcycle:     20,
+	WriteFrac:       0.35,
+	MemLocality:     0.55,
+}
+
 func (g *netloadGen) Demand(t float64, env Env, rng *sim.RNG) Demand {
 	const slice = 0.001
-	d := Demand{
-		UopsPerCycle:    1.15,
-		SpecActivity:    0.40,
-		L2PerUop:        0.9,
-		L3MissPerKuop:   1.1,
-		DirtyEvictFrac:  0.35,
-		Prefetchability: 0.40,
-		TLBMissPerMuop:  80,
-		UCPerMcycle:     20,
-		WriteFrac:       0.35,
-		MemLocality:     0.55,
-	}
+	d := netloadBase
 	if g.burstLeft > 0 {
 		g.burstLeft -= slice
 		d.Active = 0.9

@@ -39,6 +39,12 @@ type specGen struct {
 	phase phaseFunc
 	rng   *sim.RNG
 	initT float64 // seconds spent loading the dataset
+	// initDemand and baseDemand are precomputed at construction: the
+	// dataset-load demand is fully constant and the steady-state demand
+	// is constant in everything but the phase/jitter fields, so building
+	// them field-by-field every millisecond slice was pure overhead.
+	initDemand Demand
+	baseDemand Demand
 	// piecewise-phase state (gcc-style workloads)
 	segEnd         float64
 	segAct, segUpc float64
@@ -54,6 +60,31 @@ func newSpecGen(name string, p specParams, phase phaseFunc, rng *sim.RNG) *specG
 	if p.initReadMB > 0 {
 		g.initT = p.initReadMB * 1e6 / initReadRate
 	}
+	// Dataset load: thread mostly blocked on I/O, modest CPU use.
+	g.initDemand = Demand{
+		Active:         0.25,
+		UopsPerCycle:   0.8,
+		SpecActivity:   0.1,
+		L2PerUop:       0.5,
+		L3MissPerKuop:  0.5,
+		DirtyEvictFrac: 0.3,
+		TLBMissPerMuop: p.tlb,
+		UCPerMcycle:    p.uc + 10,
+		WriteFrac:      0.6, // filling memory with the dataset
+		MemLocality:    0.8, // sequential fill
+		DiskReadBytes:  initReadRate * 0.001,
+	}
+	// Steady state: the phase- and jitter-driven fields are overwritten
+	// per slice.
+	g.baseDemand = Demand{
+		L2PerUop:        p.l2,
+		DirtyEvictFrac:  p.evict,
+		Prefetchability: p.pf,
+		TLBMissPerMuop:  p.tlb,
+		UCPerMcycle:     p.uc,
+		WriteFrac:       p.wf,
+		MemLocality:     p.loc,
+	}
 	return g
 }
 
@@ -62,39 +93,18 @@ func (g *specGen) Name() string { return g.name }
 func (g *specGen) Demand(t float64, env Env, rng *sim.RNG) Demand {
 	p := g.p
 	if t < g.initT {
-		// Dataset load: thread mostly blocked on I/O, modest CPU use.
-		return Demand{
-			Active:         0.25,
-			UopsPerCycle:   0.8,
-			SpecActivity:   0.1,
-			L2PerUop:       0.5,
-			L3MissPerKuop:  0.5,
-			DirtyEvictFrac: 0.3,
-			TLBMissPerMuop: p.tlb,
-			UCPerMcycle:    p.uc + 10,
-			WriteFrac:      0.6, // filling memory with the dataset
-			MemLocality:    0.8, // sequential fill
-			DiskReadBytes:  initReadRate * 0.001,
-		}
+		return g.initDemand
 	}
 	actMul, upcMul, missMul := 1.0, 1.0, 1.0
 	if g.phase != nil {
 		actMul, upcMul, missMul = g.phase(t-g.initT, g)
 	}
-	act := clamp01(0.985 * actMul)
-	return Demand{
-		Active:          act,
-		UopsPerCycle:    rng.Jitter(p.upc*upcMul, 0.03),
-		SpecActivity:    rng.Jitter(p.spec*upcMul, 0.05),
-		L2PerUop:        p.l2,
-		L3MissPerKuop:   rng.Jitter(p.mpku*missMul, 0.05),
-		DirtyEvictFrac:  p.evict,
-		Prefetchability: p.pf,
-		TLBMissPerMuop:  p.tlb,
-		UCPerMcycle:     p.uc,
-		WriteFrac:       p.wf,
-		MemLocality:     p.loc,
-	}
+	d := g.baseDemand
+	d.Active = clamp01(0.985 * actMul)
+	d.UopsPerCycle = rng.Jitter(p.upc*upcMul, 0.03)
+	d.SpecActivity = rng.Jitter(p.spec*upcMul, 0.05)
+	d.L3MissPerKuop = rng.Jitter(p.mpku*missMul, 0.05)
+	return d
 }
 
 func clamp01(v float64) float64 {
