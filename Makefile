@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc
+.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update
 
 all: vet test
 
@@ -24,6 +24,18 @@ bench:
 bench-gate:
 	$(GO) run ./cmd/tdbench -o /tmp/bench_current.json \
 		-baseline $$(ls BENCH_*.json | sort | tail -1)
+
+# Paper-conformance gate (see DESIGN.md §3e): leave-one-workload-out
+# cross-validation plus the metamorphic check battery, gated against the
+# blessed GOLDEN.json corpus. Fails if any subsystem's held-out error
+# breaches the paper's 9% bound, drifts >1 point from the blessed value,
+# or any dataset fingerprint changes. `make validate-update` re-blesses
+# GOLDEN.json after a deliberate model/simulator change.
+validate:
+	$(GO) run ./cmd/tdvalidate -gate -golden GOLDEN.json -o validate_report.json
+
+validate-update:
+	$(GO) run ./cmd/tdvalidate -update -golden GOLDEN.json -o validate_report.json
 
 # The raw, unrecorded full suite (every Benchmark* in the repo).
 bench-all:

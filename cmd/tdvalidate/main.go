@@ -1,0 +1,206 @@
+// Command tdvalidate runs the paper-conformance validation subsystem:
+// leave-one-workload-out cross-validation of the five subsystem power
+// models over the fixed-seed workload suite, the metamorphic
+// conformance checks, and (with -golden) the corpus gate that fails
+// when held-out accuracy regresses past the paper's 9% bound or a
+// fixed-seed dataset fingerprint drifts.
+//
+// Usage:
+//
+//	tdvalidate                          # CV + checks, print summary
+//	tdvalidate -o report.json           # also write the JSON report
+//	tdvalidate -golden GOLDEN.json -gate   # CI gate: exit 1 on violation
+//	tdvalidate -golden GOLDEN.json -update # re-bless the corpus
+//	tdvalidate -mistrain Memory -golden GOLDEN.json -gate  # must fail
+//
+// Exit codes: 0 pass, 1 gate violation (or mistrain requested), 2 run
+// incomplete (cancelled, timed out, or a fold failed).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"trickledown/internal/align"
+	"trickledown/internal/core"
+	"trickledown/internal/experiments"
+	"trickledown/internal/power"
+	"trickledown/internal/validate"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdvalidate: ")
+	seed := flag.Uint64("seed", 100, "validation run seed")
+	scale := flag.Float64("scale", 0.25, "duration scale (1.0 = paper-length traces)")
+	workers := flag.Int("workers", 0, "fold/simulation parallelism (0 = GOMAXPROCS)")
+	warmup := flag.Int("warmup", 5, "rows trimmed from each trace before use")
+	boot := flag.Int("boot", 500, "bootstrap resamples for the error CIs")
+	conf := flag.Float64("confidence", 0.95, "bootstrap CI coverage")
+	golden := flag.String("golden", "", "golden corpus path (GOLDEN.json)")
+	gate := flag.Bool("gate", false, "fail (exit 1) on any golden-corpus violation")
+	update := flag.Bool("update", false, "re-bless the golden corpus from this run")
+	runChecks := flag.Bool("checks", true, "run the metamorphic conformance checks")
+	out := flag.String("o", "", "write the JSON report to this path")
+	timeout := flag.Duration("timeout", 0, "overall deadline (0 = none)")
+	mistrain := flag.String("mistrain", "", "deliberately corrupt this subsystem's model (CI negative test)")
+	flag.Parse()
+
+	os.Exit(run(*seed, *scale, *workers, *warmup, *boot, *conf,
+		*golden, *gate, *update, *runChecks, *out, *timeout, *mistrain))
+}
+
+func run(seed uint64, scale float64, workers, warmup, boot int, conf float64,
+	golden string, gate, update, runChecks bool, out string, timeout time.Duration,
+	mistrain string) int {
+	// A typo'd -mistrain would corrupt nothing and pass the gate, turning
+	// CI's negative control vacuous — reject unknown names outright.
+	if mistrain != "" && !knownSubsystem(mistrain) {
+		log.Printf("unknown -mistrain subsystem %q (want one of %s)", mistrain, subsystemNames())
+		return 2
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// A gate run must reproduce the corpus configuration exactly, or the
+	// fingerprints could not possibly match; adopt it up front.
+	var corpus *validate.Golden
+	if golden != "" && !update {
+		g, err := validate.LoadGolden(golden)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		corpus = g
+		if seed != g.Seed || scale != g.Scale {
+			log.Printf("adopting golden corpus configuration: seed=%d scale=%g", g.Seed, g.Scale)
+			seed, scale = g.Seed, g.Scale
+		}
+	}
+
+	opt := validate.Options{
+		Seed:       seed,
+		Scale:      scale,
+		Warmup:     warmup,
+		Resamples:  boot,
+		Confidence: conf,
+		Workers:    workers,
+		Train:      trainFunc(mistrain),
+	}
+	runner := experiments.NewRunner(experiments.Options{
+		Seed: seed, TrainSeed: seed, Scale: scale, Workers: workers,
+	})
+
+	report, err := validate.CrossValidate(ctx, runner, opt)
+	if err != nil {
+		log.Printf("cross-validation incomplete (%d/%d folds): %v",
+			report.FoldsDone, report.FoldsTotal, err)
+		writeReport(report, out)
+		report.Render(os.Stdout)
+		return 2
+	}
+	if runChecks {
+		checks, err := validate.Checks(runner, opt)
+		if err != nil {
+			log.Printf("conformance checks failed to run: %v", err)
+			writeReport(report, out)
+			return 2
+		}
+		report.Checks = checks
+	}
+	writeReport(report, out)
+	if err := report.Render(os.Stdout); err != nil {
+		log.Print(err)
+		return 2
+	}
+
+	if golden != "" && update {
+		if err := validate.FromReport(report).Save(golden); err != nil {
+			log.Print(err)
+			return 2
+		}
+		log.Printf("blessed golden corpus: %s", golden)
+		return 0
+	}
+	if corpus != nil {
+		violations := corpus.Check(report)
+		for _, v := range violations {
+			fmt.Printf("gate: %s\n", v)
+		}
+		if len(violations) > 0 {
+			if gate {
+				log.Printf("FAIL: %d golden-corpus violation(s)", len(violations))
+				return 1
+			}
+			log.Printf("%d golden-corpus violation(s) (advisory; pass -gate to enforce)", len(violations))
+		} else {
+			log.Print("golden corpus gate: PASS")
+		}
+	}
+	return 0
+}
+
+func knownSubsystem(name string) bool {
+	for _, s := range power.Subsystems() {
+		if s.String() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func subsystemNames() string {
+	var names []string
+	for _, s := range power.Subsystems() {
+		names = append(names, s.String())
+	}
+	return strings.Join(names, ", ")
+}
+
+// trainFunc returns the production trainer, or one that corrupts the
+// named subsystem's fitted coefficients — the hook CI uses to prove the
+// gate actually fails on a bad model.
+func trainFunc(mistrain string) core.TrainFunc {
+	if mistrain == "" {
+		return core.Train
+	}
+	return func(spec core.ModelSpec, ds *align.Dataset) (*core.Model, error) {
+		m, err := core.Train(spec, ds)
+		if err != nil {
+			return nil, err
+		}
+		if spec.Sub.String() == mistrain {
+			for i := range m.Coef {
+				m.Coef[i] *= 3
+			}
+		}
+		return m, nil
+	}
+}
+
+func writeReport(r *validate.Report, path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Print(err)
+		return
+	}
+	defer f.Close()
+	if err := r.WriteJSON(f); err != nil {
+		log.Print(err)
+		return
+	}
+	log.Printf("wrote %s", path)
+}

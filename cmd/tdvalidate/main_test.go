@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// An expiring deadline must yield the "incomplete" exit code, promptly
+// and without hanging — the contract an interrupted CI job depends on.
+func TestRunTimeoutExitsIncomplete(t *testing.T) {
+	done := make(chan int, 1)
+	go func() {
+		done <- run(7, 0.02, 1, 5, 50, 0.95, "", false, false, false,
+			"", time.Nanosecond, "")
+	}()
+	select {
+	case code := <-done:
+		if code != 2 {
+			t.Fatalf("exit code = %d, want 2 for an expired deadline", code)
+		}
+	case <-time.After(2 * time.Minute):
+		t.Fatal("run did not return after its deadline expired")
+	}
+}
+
+// A typo'd -mistrain name must be rejected, not silently ignored — an
+// ignored typo would make CI's negative control vacuously pass.
+func TestRunRejectsUnknownMistrain(t *testing.T) {
+	if code := run(7, 0.02, 1, 5, 50, 0.95, "", false, false, false,
+		"", 0, "Banana"); code != 2 {
+		t.Fatalf("unknown -mistrain exit = %d, want 2", code)
+	}
+}
+
+// The full in-process pipeline: bless a corpus, gate cleanly (exit 0),
+// then prove the gate fails (exit 1) when one model is mistrained.
+func TestRunGateAndMistrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs three full validation passes")
+	}
+	golden := t.TempDir() + "/GOLDEN.json"
+	if code := run(7, 0.02, 0, 5, 50, 0.95, golden, false, true, true,
+		"", 0, ""); code != 0 {
+		t.Fatalf("update run exit = %d, want 0", code)
+	}
+	if code := run(7, 0.02, 0, 5, 50, 0.95, golden, true, false, true,
+		"", 0, ""); code != 0 {
+		t.Fatalf("clean gate exit = %d, want 0", code)
+	}
+	if code := run(7, 0.02, 0, 5, 50, 0.95, golden, true, false, true,
+		"", 0, "Memory"); code != 1 {
+		t.Fatalf("mistrained gate exit = %d, want 1", code)
+	}
+}

@@ -37,6 +37,11 @@ func FuzzMergeRobust(f *testing.F) {
 	f.Add(encodeTimes(1, 2, 3, 4), encodeTimes(1, 2, 2, 3))          // stuck target clock
 	f.Add(encodeTimes(1, 2), encodeTimes(1001, 1002))                // disjoint logs
 	f.Add(encodeTimes(math.Inf(1), math.Inf(-1)), encodeTimes(1, 2)) // infinite timestamps
+	// Compound damage: duplicate DAQ timestamps *and* NaN windows in the
+	// same log, against a counter log with its own stuck edge — the
+	// collapse and rejection paths must compose, not fight.
+	f.Add(encodeTimes(1, 2, 2.01, math.NaN(), 3, 3.005, math.NaN()),
+		encodeTimes(1, 2, 2, 3, 4))
 	f.Fuzz(func(t *testing.T, recBytes, smpBytes []byte) {
 		var recs []daq.Record
 		for i := 0; i+8 <= len(recBytes) && len(recs) < 256; i += 8 {

@@ -153,17 +153,29 @@ func CompareAllocs(baseline, current *Result, maxRegress float64) []error {
 	return errs
 }
 
+// Decode parses a JSON-encoded Result — the checked-in baseline format.
+// Malformed input returns an error, never a panic: baselines come from
+// the repository and from artifact downloads, both of which can truncate
+// or corrupt.
+func Decode(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchjson: parsing baseline: %w", err)
+	}
+	return &r, nil
+}
+
 // Load reads a Result from a JSON file.
 func Load(path string) (*Result, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var r Result
-	if err := json.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("benchjson: parsing %s: %w", path, err)
+	r, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %s: %w", path, err)
 	}
-	return &r, nil
+	return r, nil
 }
 
 // Write writes the Result as indented JSON with a trailing newline.

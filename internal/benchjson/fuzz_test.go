@@ -1,0 +1,60 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the baseline parser: malformed
+// JSON must return an error and anything accepted must re-encode — the
+// gate in cmd/tdbench reads baselines from checked-in files and CI
+// artifact downloads, either of which can arrive truncated or mangled.
+func FuzzDecode(f *testing.F) {
+	valid, err := json.Marshal(&Result{
+		Date: "2026-08-06",
+		Benchmarks: []Benchmark{{
+			Name: "BenchmarkEstimate", Iterations: 100, NsPerOp: 1234,
+			AllocsPerOp: 2, Metrics: map[string]float64{"cpu_err%": 3.1},
+		}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"benchmarks": [{"iterations": "NaN"}]}`))
+	f.Add(valid[:len(valid)/2]) // truncated download
+	f.Add([]byte("\xff\xfe not json at all"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if r == nil {
+			t.Fatal("nil result without error")
+		}
+		if _, err := json.Marshal(r); err != nil {
+			t.Fatalf("accepted baseline failed to re-encode: %v", err)
+		}
+		// The regression gate must tolerate whatever Decode accepted.
+		_ = CompareAllocs(r, r, 0.2)
+	})
+}
+
+// FuzzParse does the same for raw `go test -bench` output: unrecognized
+// lines are skipped, result-shaped lines with garbage values error, and
+// nothing panics.
+func FuzzParse(f *testing.F) {
+	f.Add("goos: linux\nBenchmarkX 10 5.0 ns/op 3 allocs/op\n")
+	f.Add("BenchmarkX 10 notanumber ns/op\n")
+	f.Add("Benchmark\n\x00\n")
+	f.Add("BenchmarkX 9e999 1 ns/op\n")
+	f.Fuzz(func(t *testing.T, out string) {
+		r, err := Parse([]byte(out))
+		if err == nil && r == nil {
+			t.Fatal("nil result without error")
+		}
+	})
+}

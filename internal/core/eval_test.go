@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"trickledown/internal/align"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// evalDataset returns a dataset with an exact linear CPU rail plus the
+// model trained on it, so Evaluate's numbers are predictable.
+func evalDataset(t *testing.T, n int) (*align.Dataset, *Model) {
+	t.Helper()
+	ds := synthDataset(n, func(i int, s *perfctr.Sample) power.Reading {
+		m := ExtractMetrics(s)
+		var r power.Reading
+		r[power.SubCPU] = 9.25*float64(m.NumCPUs) + 26.45*sum(m.PercentActive) + 4.31*sum(m.UopsPerCycle)
+		return r
+	})
+	mod, err := Train(CPUSpec(), ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, mod
+}
+
+func TestEvaluatePerfectFit(t *testing.T) {
+	ds, mod := evalDataset(t, 60)
+	ev, err := mod.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.N != ds.Len() {
+		t.Errorf("N = %d, want %d", ev.N, ds.Len())
+	}
+	if ev.AvgErrPct > 1e-6 || ev.WorstErrPct > 1e-6 {
+		t.Errorf("exact model scored avg %v%% worst %v%%", ev.AvgErrPct, ev.WorstErrPct)
+	}
+	if ev.R2 < 1-1e-9 {
+		t.Errorf("R2 = %v, want 1", ev.R2)
+	}
+	if math.Abs(ev.Resid.Mean) > 1e-9 || ev.Resid.Max > 1e-9 {
+		t.Errorf("residual summary not ~zero: %+v", ev.Resid)
+	}
+}
+
+func TestEvaluateBiasedModel(t *testing.T) {
+	ds, mod := evalDataset(t, 60)
+	// Inflate the constant term by 5 W: every residual becomes +5 and the
+	// error percentages must reflect the rail magnitudes.
+	mod.Coef[0] += 5 / float64(2) // perCPU term, 2 CPUs in mkSample
+	ev, err := mod.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ev.Resid.Mean-5) > 1e-9 || math.Abs(ev.Resid.Min-5) > 1e-9 {
+		t.Errorf("uniform +5 W bias not seen in residuals: %+v", ev.Resid)
+	}
+	if ev.AvgErrPct <= 0 || ev.WorstErrPct < ev.AvgErrPct {
+		t.Errorf("avg %v%% worst %v%% inconsistent", ev.AvgErrPct, ev.WorstErrPct)
+	}
+	if ev.R2 >= 1 {
+		t.Errorf("biased model still scored R2 = %v", ev.R2)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	ds, mod := evalDataset(t, 20)
+	res, err := mod.Residuals(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != ds.Len() {
+		t.Fatalf("len = %d, want %d", len(res), ds.Len())
+	}
+	for i, r := range res {
+		measured := ds.Rows[i].Power[power.SubCPU]
+		modeled := mod.Predict(ExtractMetrics(&ds.Rows[i].Counters))
+		if math.Abs(r-(modeled-measured)) > 1e-12 {
+			t.Fatalf("row %d residual %v != modeled-measured %v", i, r, modeled-measured)
+		}
+	}
+	if _, err := mod.Residuals(&align.Dataset{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty dataset err = %v", err)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	_, mod := evalDataset(t, 20)
+	if _, err := mod.Evaluate(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("nil dataset err = %v", err)
+	}
+	if _, err := mod.Evaluate(&align.Dataset{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty dataset err = %v", err)
+	}
+}

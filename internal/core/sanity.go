@@ -17,13 +17,23 @@ import (
 
 // DataIssue describes one problem found in a dataset.
 type DataIssue struct {
-	// Subject names the rail or counter.
+	// Subject names the rail or counter, e.g. "power/Memory" or
+	// "counter/cpu2.cycles" — callers routing an issue to a fix (re-merge
+	// this rail, re-program that counter) dispatch on it.
 	Subject string
 	// Problem describes what is wrong.
 	Problem string
+	// Row is the first offending sample index, or -1 when the issue is a
+	// whole-trace property (a silent counter, a dead rail).
+	Row int
 }
 
-func (i DataIssue) String() string { return i.Subject + ": " + i.Problem }
+func (i DataIssue) String() string {
+	if i.Row >= 0 {
+		return fmt.Sprintf("%s: %s (first at row %d)", i.Subject, i.Problem, i.Row)
+	}
+	return i.Subject + ": " + i.Problem
+}
 
 // CheckDataset inspects an aligned dataset for dead power rails,
 // implausible readings, silent counters and broken timebases. It returns
@@ -31,15 +41,21 @@ func (i DataIssue) String() string { return i.Subject + ": " + i.Problem }
 func CheckDataset(ds *align.Dataset) []DataIssue {
 	var issues []DataIssue
 	if ds == nil || ds.Len() == 0 {
-		return []DataIssue{{Subject: "dataset", Problem: "no samples"}}
+		return []DataIssue{{Subject: "dataset", Problem: "no samples", Row: -1}}
 	}
 	// Rails: finite readings first (a NaN window poisons every summary
-	// statistic), then neither zero nor flat-at-zero.
+	// statistic), then neither zero nor flat-at-zero. Each issue names
+	// the rail and the first offending row, so a caller looking at
+	// "power/Memory ... first at row 41" knows which sense channel — and
+	// which stretch of the trace — to go look at.
 	for _, sub := range power.Subsystems() {
 		col := ds.PowerColumn(sub)
-		nonFinite := 0
-		for _, v := range col {
+		nonFinite, firstBad := 0, -1
+		for i, v := range col {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
+				if nonFinite == 0 {
+					firstBad = i
+				}
 				nonFinite++
 			}
 		}
@@ -47,6 +63,7 @@ func CheckDataset(ds *align.Dataset) []DataIssue {
 			issues = append(issues, DataIssue{
 				Subject: "power/" + sub.String(),
 				Problem: fmt.Sprintf("%d non-finite readings (sensor dropout? run the robust merge)", nonFinite),
+				Row:     firstBad,
 			})
 			continue
 		}
@@ -59,16 +76,26 @@ func CheckDataset(ds *align.Dataset) []DataIssue {
 			issues = append(issues, DataIssue{
 				Subject: "power/" + sub.String(),
 				Problem: "rail reads zero for the whole trace (dead sense channel?)",
+				Row:     -1,
 			})
 		case s.Min < 0:
+			first := -1
+			for i, v := range col {
+				if v < 0 {
+					first = i
+					break
+				}
+			}
 			issues = append(issues, DataIssue{
 				Subject: "power/" + sub.String(),
 				Problem: fmt.Sprintf("negative reading %.2f W (wiring polarity?)", s.Min),
+				Row:     first,
 			})
 		case s.Mean < 1:
 			issues = append(issues, DataIssue{
 				Subject: "power/" + sub.String(),
 				Problem: fmt.Sprintf("mean %.2f W implausibly low for a powered subsystem", s.Mean),
+				Row:     -1,
 			})
 		}
 	}
@@ -81,6 +108,7 @@ func CheckDataset(ds *align.Dataset) []DataIssue {
 			issues = append(issues, DataIssue{
 				Subject: "timebase",
 				Problem: fmt.Sprintf("sample %d has non-positive interval", i),
+				Row:     i,
 			})
 			break
 		}
@@ -89,6 +117,7 @@ func CheckDataset(ds *align.Dataset) []DataIssue {
 				issues = append(issues, DataIssue{
 					Subject: fmt.Sprintf("counter/cpu%d.cycles", c),
 					Problem: fmt.Sprintf("zero at sample %d (counter not programmed?)", i),
+					Row:     i,
 				})
 				i = ds.Len() // stop scanning
 				break
@@ -101,12 +130,14 @@ func CheckDataset(ds *align.Dataset) []DataIssue {
 		issues = append(issues, DataIssue{
 			Subject: "counter/fetched_uops",
 			Problem: "silent for the whole trace",
+			Row:     -1,
 		})
 	}
 	if anyBus == 0 {
 		issues = append(issues, DataIssue{
 			Subject: "counter/bus_transactions",
 			Problem: "silent for the whole trace",
+			Row:     -1,
 		})
 	}
 	// Interrupts: a live system always takes timer ticks.
@@ -118,6 +149,7 @@ func CheckDataset(ds *align.Dataset) []DataIssue {
 		issues = append(issues, DataIssue{
 			Subject: "interrupts",
 			Problem: "no interrupts recorded (is /proc/interrupts sampling wired?)",
+			Row:     -1,
 		})
 	}
 	return issues

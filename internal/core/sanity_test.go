@@ -143,3 +143,97 @@ func hasIssue(issues []DataIssue, subject, problemFragment string) bool {
 	}
 	return false
 }
+
+// The row-pinpointing contract: every localizable issue names its first
+// offending sample, so an operator lands on the right stretch of a
+// multi-hour trace instead of re-scanning all of it.
+func TestCheckDatasetReportsFirstBadRow(t *testing.T) {
+	ds := healthyDataset(20)
+	ds.Rows[7].Power[power.SubMemory] = math.NaN()
+	ds.Rows[9].Power[power.SubMemory] = math.Inf(1)
+	issues := CheckDataset(ds)
+	found := false
+	for _, i := range issues {
+		if i.Subject == "power/Memory" {
+			found = true
+			if i.Row != 7 {
+				t.Errorf("non-finite Memory issue Row = %d, want 7 (the first bad window)", i.Row)
+			}
+			if !strings.Contains(i.String(), "first at row 7") {
+				t.Errorf("String() = %q, want the row called out", i.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no power/Memory issue: %v", issues)
+	}
+
+	ds = healthyDataset(20)
+	ds.Rows[3].Power[power.SubIO] = -2
+	for _, i := range CheckDataset(ds) {
+		if i.Subject == "power/I/O" && i.Row != 3 {
+			t.Errorf("negative I/O issue Row = %d, want 3", i.Row)
+		}
+	}
+
+	ds = healthyDataset(20)
+	ds.Rows[5].Counters.CPUs[1].Cycles = 0
+	for _, i := range CheckDataset(ds) {
+		if i.Subject == "counter/cpu1.cycles" && i.Row != 5 {
+			t.Errorf("zero-cycles issue Row = %d, want 5", i.Row)
+		}
+	}
+
+	ds = healthyDataset(20)
+	ds.Rows[4].Counters.IntervalSec = 0
+	for _, i := range CheckDataset(ds) {
+		if i.Subject == "timebase" && i.Row != 4 {
+			t.Errorf("timebase issue Row = %d, want 4", i.Row)
+		}
+	}
+}
+
+// Whole-trace issues carry Row == -1 and render without a row suffix —
+// there is no single sample to jump to.
+func TestCheckDatasetWholeTraceIssuesHaveNoRow(t *testing.T) {
+	ds := healthyDataset(20)
+	for i := range ds.Rows {
+		ds.Rows[i].Power[power.SubDisk] = 0
+		for c := range ds.Rows[i].Counters.CPUs {
+			ds.Rows[i].Counters.CPUs[c].FetchedUops = 0
+		}
+	}
+	for _, i := range CheckDataset(ds) {
+		switch i.Subject {
+		case "power/Disk", "counter/fetched_uops":
+			if i.Row != -1 {
+				t.Errorf("%s: Row = %d, want -1 for a whole-trace issue", i.Subject, i.Row)
+			}
+			if strings.Contains(i.String(), "row") {
+				t.Errorf("%s: String() = %q mentions a row", i.Subject, i.String())
+			}
+		}
+	}
+}
+
+// Train's non-finite errors must name what and where: the rail and row
+// for a bad measurement, the model and design term for a bad input.
+func TestTrainErrorNamesRailTermAndRow(t *testing.T) {
+	ds := healthyDataset(20)
+	ds.Rows[11].Power[power.SubCPU] = math.NaN()
+	_, err := Train(CPUSpec(), ds)
+	if err == nil || !strings.Contains(err.Error(), "CPU rail at row 11") {
+		t.Errorf("rail error = %v, want the rail and row named", err)
+	}
+
+	ds = healthyDataset(20)
+	ds.Rows[4].Counters.OSBusySec = []float64{math.NaN()}
+	_, err = Train(CPUOSUtilSpec(), ds)
+	if err == nil || !strings.Contains(err.Error(), "os_util") ||
+		!strings.Contains(err.Error(), "row 4") {
+		t.Errorf("design error = %v, want the term and row named", err)
+	}
+	if !errors.Is(err, ErrNonFinite) {
+		t.Errorf("design error does not wrap ErrNonFinite: %v", err)
+	}
+}

@@ -20,6 +20,13 @@ var ErrNoData = errors.New("core: empty dataset")
 // into every coefficient silently.
 var ErrNonFinite = errors.New("core: non-finite value in training data")
 
+// TrainFunc is the per-fold training hook of the validation subsystem:
+// anything that turns a spec plus a training dataset into a fitted
+// model. Train is the production implementation; the conformance gate's
+// negative tests substitute deliberately mistrained variants to prove
+// the accuracy gate actually fails.
+type TrainFunc func(spec ModelSpec, ds *align.Dataset) (*Model, error)
+
 // Model is a fitted subsystem power model.
 type Model struct {
 	// Spec is the model's definition.
@@ -46,7 +53,12 @@ func Train(spec ModelSpec, ds *align.Dataset) (*Model, error) {
 		}
 		for j, v := range x[i] {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return nil, fmt.Errorf("%w: design column %d at row %d", ErrNonFinite, j, i)
+				term := fmt.Sprintf("column %d", j)
+				if j < len(spec.Terms) {
+					term = spec.Terms[j]
+				}
+				return nil, fmt.Errorf("%w: %s design term %s at row %d",
+					ErrNonFinite, spec.Name, term, i)
 			}
 		}
 	}

@@ -230,6 +230,15 @@ func (r *Runner) validation(name string) (*align.Dataset, error) {
 	return r.dataset(name, r.duration(spec.DefaultDuration), r.opt.Seed)
 }
 
+// ValidationDataset exposes the runner's cached per-workload validation
+// trace (default duration, validation seed) to the conformance
+// subsystem: internal/validate drives its cross-validation folds
+// through this method so CV and the tables share one simulation cache
+// instead of re-running every workload. Safe for concurrent use.
+func (r *Runner) ValidationDataset(name string) (*align.Dataset, error) {
+	return r.validation(name)
+}
+
 // Estimator trains (once) and returns the paper's five production
 // models: Eq. 1 on gcc, Eq. 3 on mcf, Eq. 4 and Eq. 5 on DiskLoad, and
 // the chipset constant on gcc. Safe for concurrent use: the first

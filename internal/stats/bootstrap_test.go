@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, tc := range cases {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatalf("Quantile(q=%v): %v", tc.q, err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("Quantile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty Quantile err = %v", err)
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{3.1, 4.7, 2.2, 5.9, 4.1, 3.3, 2.8, 6.0}
+	a, err := BootstrapCI(xs, Mean, 500, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BootstrapCI(xs, Mean, 500, 0.95, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed produced different intervals: %+v vs %+v", a, b)
+	}
+	c, err := BootstrapCI(xs, Mean, 500, 0.95, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical intervals (seed unused?)")
+	}
+}
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	xs := []float64{3.1, 4.7, 2.2, 5.9, 4.1, 3.3, 2.8, 6.0}
+	ci, err := BootstrapCI(xs, Mean, 2000, 0.95, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Hi {
+		t.Fatalf("interval inverted: [%v, %v]", ci.Lo, ci.Hi)
+	}
+	m := Mean(xs)
+	if m < ci.Lo || m > ci.Hi {
+		t.Errorf("sample mean %v outside its own bootstrap CI [%v, %v]", m, ci.Lo, ci.Hi)
+	}
+	// Degenerate sample: every resample is identical, CI collapses.
+	flat := []float64{5, 5, 5, 5}
+	ci, err = BootstrapCI(flat, Mean, 100, 0.95, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo != 5 || ci.Hi != 5 {
+		t.Errorf("constant-sample CI = [%v, %v], want [5, 5]", ci.Lo, ci.Hi)
+	}
+	if _, err := BootstrapCI(nil, Mean, 100, 0.95, 1); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty CI err = %v", err)
+	}
+}
+
+func TestR2(t *testing.T) {
+	measured := []float64{1, 2, 3, 4}
+	if r2, err := R2(measured, measured); err != nil || r2 != 1 {
+		t.Errorf("perfect R2 = %v, %v", r2, err)
+	}
+	// Predicting the mean scores exactly zero.
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if r2, err := R2(mean, measured); err != nil || math.Abs(r2) > 1e-12 {
+		t.Errorf("mean-prediction R2 = %v, %v, want 0", r2, err)
+	}
+	// Worse than the mean goes negative — the held-out regime.
+	bad := []float64{4, 3, 2, 1}
+	if r2, err := R2(bad, measured); err != nil || r2 >= 0 {
+		t.Errorf("anti-correlated R2 = %v, %v, want negative", r2, err)
+	}
+	if _, err := R2([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Errorf("length mismatch err = %v", err)
+	}
+	if _, err := R2([]float64{1, 2}, []float64{3, 3}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("zero-variance err = %v", err)
+	}
+}
+
+func TestWorstError(t *testing.T) {
+	measured := []float64{100, 200, 50}
+	modeled := []float64{110, 190, 50} // 10%, 5%, 0%
+	got, err := WorstError(modeled, measured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("WorstError = %v, want 10", got)
+	}
+	// Zero-measured samples are skipped, matching AverageError.
+	got, err = WorstError([]float64{5, 101}, []float64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-9 {
+		t.Errorf("WorstError with zero sample = %v, want 1", got)
+	}
+	if _, err := WorstError([]float64{1}, []float64{0}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("all-zero measured err = %v", err)
+	}
+}

@@ -1,0 +1,170 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The golden corpus pins the conformance gate to a checked-in file
+// (GOLDEN.json at the repository root): the exact fingerprints of every
+// fixed-seed validation trace plus the expected held-out error table.
+// The gate then fails for either of two independent reasons:
+//
+//   - accuracy: a subsystem's held-out mean error exceeds the paper
+//     bound, or moved away from its recorded value by more than the
+//     tolerance — a model or trainer regression;
+//   - drift: a dataset fingerprint changed — the simulation engine's
+//     fixed-seed output is no longer the data the corpus was blessed
+//     on, so the error table is comparing against a moved target.
+//
+// Distinguishing the two matters: accuracy failures point at the
+// models, drift failures point at the engine (and are fixed by
+// deliberately regenerating the corpus with -update).
+
+// ErrTolPctDefault bounds how far a subsystem's recorded mean error may
+// move before the gate calls it a regression even below the paper
+// bound.
+const ErrTolPctDefault = 1.0
+
+// Golden is the checked-in conformance corpus.
+type Golden struct {
+	// Seed and Scale are the run configuration the corpus was generated
+	// with; gate runs must reproduce them exactly.
+	Seed  uint64  `json:"seed"`
+	Scale float64 `json:"scale"`
+	// BoundPct is the absolute gate: no subsystem's held-out mean error
+	// may reach it (the paper's single-digit claim).
+	BoundPct float64 `json:"bound_pct"`
+	// ErrTolPct is the relative gate: no subsystem's mean error may move
+	// more than this many points from MeanErrPct.
+	ErrTolPct float64 `json:"err_tol_pct"`
+	// Workloads is the fold suite, in order.
+	Workloads []string `json:"workloads"`
+	// Fingerprints maps workload → expected dataset fingerprint.
+	Fingerprints map[string]string `json:"fingerprints"`
+	// MeanErrPct maps subsystem name → blessed held-out mean error.
+	MeanErrPct map[string]float64 `json:"mean_err_pct"`
+}
+
+// FromReport blesses a report as the new golden corpus.
+func FromReport(r *Report) *Golden {
+	g := &Golden{
+		Seed:         r.Seed,
+		Scale:        r.Scale,
+		BoundPct:     PaperBoundPct,
+		ErrTolPct:    ErrTolPctDefault,
+		Workloads:    append([]string(nil), r.Workloads...),
+		Fingerprints: map[string]string{},
+		MeanErrPct:   map[string]float64{},
+	}
+	for w, fp := range r.Fingerprints {
+		g.Fingerprints[w] = fp
+	}
+	for _, s := range r.Subsystems {
+		g.MeanErrPct[s.Subsystem] = s.MeanErrPct
+	}
+	return g
+}
+
+// LoadGolden reads a corpus file.
+func LoadGolden(path string) (*Golden, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("validate: golden: %w", err)
+	}
+	var g Golden
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, fmt.Errorf("validate: golden %s: %w", path, err)
+	}
+	if g.BoundPct <= 0 {
+		g.BoundPct = PaperBoundPct
+	}
+	if g.ErrTolPct <= 0 {
+		g.ErrTolPct = ErrTolPctDefault
+	}
+	return &g, nil
+}
+
+// Write serializes the corpus deterministically (json sorts map keys).
+func (g *Golden) Write(w io.Writer) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return fmt.Errorf("validate: encoding golden: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Save writes the corpus to a file.
+func (g *Golden) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("validate: golden: %w", err)
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Check gates a report against the corpus and returns every violation
+// (sorted, deterministic). An empty slice is a pass. Incomplete runs
+// (Coverage < 1) and failed conformance checks are violations too: a
+// gate must never pass on partial evidence.
+func (g *Golden) Check(r *Report) []string {
+	var bad []string
+	if r.Seed != g.Seed {
+		bad = append(bad, fmt.Sprintf("config: report seed %d != golden seed %d", r.Seed, g.Seed))
+	}
+	if r.Scale != g.Scale {
+		bad = append(bad, fmt.Sprintf("config: report scale %g != golden scale %g", r.Scale, g.Scale))
+	}
+	if r.Coverage() < 1 {
+		bad = append(bad, fmt.Sprintf("coverage: only %d/%d folds completed", r.FoldsDone, r.FoldsTotal))
+	}
+	for _, w := range g.Workloads {
+		want := g.Fingerprints[w]
+		got, ok := r.Fingerprints[w]
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("drift: workload %s missing from report", w))
+		case got != want:
+			bad = append(bad, fmt.Sprintf("drift: workload %s fingerprint %s != golden %s", w, got, want))
+		}
+	}
+	subs := make([]string, 0, len(g.MeanErrPct))
+	for name := range g.MeanErrPct {
+		subs = append(subs, name)
+	}
+	sort.Strings(subs)
+	for _, name := range subs {
+		want := g.MeanErrPct[name]
+		rep := r.Subsystem(name)
+		if rep == nil {
+			bad = append(bad, fmt.Sprintf("accuracy: subsystem %s missing from report", name))
+			continue
+		}
+		if rep.MeanErrPct >= g.BoundPct {
+			bad = append(bad, fmt.Sprintf("accuracy: %s held-out mean error %.3f%% reaches the %.0f%% bound",
+				name, rep.MeanErrPct, g.BoundPct))
+		}
+		if diff := rep.MeanErrPct - want; diff > g.ErrTolPct || diff < -g.ErrTolPct {
+			bad = append(bad, fmt.Sprintf("accuracy: %s held-out mean error %.3f%% drifted %+.3f points from golden %.3f%% (tolerance %.2f)",
+				name, rep.MeanErrPct, diff, want, g.ErrTolPct))
+		}
+	}
+	if len(r.Checks) == 0 {
+		bad = append(bad, "checks: no conformance checks ran")
+	}
+	for _, c := range r.Checks {
+		if !c.OK {
+			bad = append(bad, fmt.Sprintf("checks: %s failed: %s", c.Name, c.Detail))
+		}
+	}
+	sort.Strings(bad)
+	return bad
+}

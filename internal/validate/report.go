@@ -1,0 +1,92 @@
+package validate
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Report serialization. encoding/json is deterministic for this shape —
+// struct fields emit in declaration order, map keys sort — but it
+// refuses NaN/Inf outright, so sanitize guarantees every float in the
+// report is finite before marshalling. Non-finite values can only enter
+// through degenerate folds (e.g. an all-zero rail making R² undefined);
+// clamping them to 0 keeps the report writable and the gate's own
+// bounds still catch the underlying problem.
+
+// sanitize replaces non-finite floats in place.
+func (r *Report) sanitize() {
+	fix := func(v *float64) {
+		if math.IsNaN(*v) || math.IsInf(*v, 0) {
+			*v = 0
+		}
+	}
+	for i := range r.Subsystems {
+		s := &r.Subsystems[i]
+		fix(&s.MeanErrPct)
+		fix(&s.WorstFoldErrPct)
+		fix(&s.IntegerMeanErrPct)
+		fix(&s.FPMeanErrPct)
+		fix(&s.CILoPct)
+		fix(&s.CIHiPct)
+		for j := range s.Folds {
+			f := &s.Folds[j]
+			fix(&f.ErrPct)
+			fix(&f.WorstErrPct)
+			fix(&f.R2)
+			fix(&f.ResidMeanW)
+			fix(&f.ResidStdW)
+			fix(&f.ResidMinW)
+			fix(&f.ResidMaxW)
+		}
+	}
+}
+
+// WriteJSON writes the report as indented JSON with a trailing newline.
+// The bytes are a pure function of the report contents: no timestamps,
+// no map iteration order, no machine metadata.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.sanitize()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("validate: encoding report: %w", err)
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// Render writes a human-oriented summary table of the report.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Cross-validation (leave-one-workload-out), seed=%d scale=%g, %d/%d folds\n",
+		r.Seed, r.Scale, r.FoldsDone, r.FoldsTotal); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-8s %10s %10s %10s %10s %22s\n",
+		"rail", "mean err%", "worst err%", "int err%", "fp err%",
+		fmt.Sprintf("%.0f%% CI", r.Confidence*100)); err != nil {
+		return err
+	}
+	for _, s := range r.Subsystems {
+		if _, err := fmt.Fprintf(w, "%-8s %10.3f %10.3f %10.3f %10.3f %10.3f – %9.3f\n",
+			s.Subsystem, s.MeanErrPct, s.WorstFoldErrPct,
+			s.IntegerMeanErrPct, s.FPMeanErrPct, s.CILoPct, s.CIHiPct); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Checks {
+		status := "ok"
+		if !c.OK {
+			status = "FAIL"
+		}
+		if _, err := fmt.Fprintf(w, "check %-24s %-4s %s\n", c.Name, status, c.Detail); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Errors {
+		if _, err := fmt.Fprintf(w, "error: %s\n", e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -177,6 +177,20 @@ func Names() []string {
 	return out
 }
 
+// ByClass returns the Table 1-ordered workloads of one validation class
+// — the split behind the paper's Table 3 (integer) and Table 4
+// (floating-point) and behind the per-class averages the conformance
+// report mirrors them with.
+func ByClass(c Class) []string {
+	var out []string
+	for _, name := range TableOrder() {
+		if registry[name].Class == c {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 // TableOrder returns the workloads in the paper's Table 1 row order.
 func TableOrder() []string {
 	return []string{
