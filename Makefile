@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update
+.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update serve loadgen serve-smoke
 
 all: vet test
 
@@ -61,6 +61,19 @@ examples:
 	$(GO) run ./examples/phases
 	$(GO) run ./examples/thermal
 	$(GO) run ./examples/governor
+
+# Live estimation service (DESIGN.md §3f): trains at a small scale and
+# listens on :8080. `make loadgen` drives the self-hosted stack at max
+# throughput; `make serve-smoke` is the CI drill — an under-capacity
+# paced run that must shed nothing.
+serve:
+	$(GO) run ./cmd/tdserve -train-scale 0.05
+
+loadgen:
+	$(GO) run ./examples/loadgen -duration 5s
+
+serve-smoke:
+	$(GO) run ./examples/loadgen -duration 3s -rate 50000 -clients 2
 
 loc:
 	find . -name '*.go' | xargs wc -l | tail -1

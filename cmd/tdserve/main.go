@@ -1,0 +1,147 @@
+// Command tdserve is the live power-estimation service: the paper's
+// "fitted once, shipped everywhere" deployment story as a long-running
+// daemon. It loads (or trains) the five-subsystem estimator, then
+// accepts batches of raw counter samples per node over HTTP and serves
+// per-node and fleet-aggregate power, with explicit backpressure —
+// bounded ingest queue, 429 + Retry-After under overload, per-client
+// rate limits — instead of silent latency or unbounded memory.
+//
+// Usage:
+//
+//	tdserve [-addr :8080] [-models models.json] [-train-scale 0.05]
+//	        [-queue 256] [-batch 8192] [-workers N]
+//	        [-rate 0] [-burst 0] [-retry-after 1s] [-stale-after 15s]
+//	        [-save-models models.json] [-v]
+//
+// Endpoints: POST /ingest (perfctr TDS1 wire batches), GET /power?node=,
+// GET /fleet, GET /statz, GET /healthz, and /metrics + /debug/pprof via
+// the telemetry registry. SIGINT/SIGTERM trigger a graceful shutdown:
+// intake closes, queued batches drain, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trickledown/internal/core"
+	"trickledown/internal/experiments"
+	"trickledown/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tdserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	models := flag.String("models", "", "load a fitted estimator from this JSON file instead of training")
+	trainScale := flag.Float64("train-scale", 0.05, "training-run duration multiplier when training (no -models)")
+	saveModels := flag.String("save-models", "", "after training, persist the estimator to this JSON file")
+	queue := flag.Int("queue", 256, "ingest queue depth in batches (the backpressure bound)")
+	batch := flag.Int("batch", 8192, "max samples per ingest request")
+	workers := flag.Int("workers", 0, "estimation workers (0 = GOMAXPROCS)")
+	rate := flag.Float64("rate", 0, "per-client admission rate in samples/sec (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "per-client token-bucket burst in samples (0 = derived)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After advertised on 429 responses")
+	staleAfter := flag.Duration("stale-after", 15*time.Second, "node staleness horizon for the fleet aggregate")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain the queue on shutdown")
+	verbose := flag.Bool("v", false, "log per-signal detail")
+	flag.Parse()
+
+	est, err := loadOrTrain(*models, *trainScale, *saveModels)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Estimator:     est,
+		QueueDepth:    *queue,
+		MaxBatch:      *batch,
+		Workers:       *workers,
+		RatePerClient: *rate,
+		Burst:         *burst,
+		RetryAfter:    *retryAfter,
+		StaleAfter:    *staleAfter,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv.Start()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("listening addr=%s queue=%d batch=%d workers=%d rate=%g",
+		ln.Addr(), *queue, *batch, *workers, *rate)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("signal %s: draining (timeout %s)", got, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := srv.Close(ctx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	if *verbose {
+		st := srv.Stats()
+		log.Printf("final: ingested=%d estimated=%d shed=%d nonfinite=%d nodes=%d",
+			st.SamplesIngested, st.SamplesEstimated, st.SamplesShed, st.NonFinite, st.Nodes)
+	}
+	log.Print("shutdown complete")
+}
+
+// loadOrTrain resolves the estimator: from a persisted model file when
+// given, otherwise by training on the simulated calibration machine at
+// the requested scale (the instrumented-machine role from the paper).
+func loadOrTrain(path string, scale float64, savePath string) (*core.Estimator, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open models: %w", err)
+		}
+		defer f.Close()
+		est, err := core.LoadEstimator(f)
+		if err != nil {
+			return nil, fmt.Errorf("load models %s: %w", path, err)
+		}
+		log.Printf("loaded estimator from %s", path)
+		return est, nil
+	}
+	log.Printf("training estimator (scale %g)", scale)
+	start := time.Now()
+	est, err := experiments.NewRunner(experiments.Options{
+		Seed: 100, TrainSeed: 10, Scale: scale,
+	}).Estimator()
+	if err != nil {
+		return nil, fmt.Errorf("train: %w", err)
+	}
+	log.Printf("trained in %s", time.Since(start).Round(time.Millisecond))
+	if savePath != "" {
+		f, err := os.Create(savePath)
+		if err != nil {
+			return nil, fmt.Errorf("create %s: %w", savePath, err)
+		}
+		defer f.Close()
+		if err := est.Save(f); err != nil {
+			return nil, fmt.Errorf("save models: %w", err)
+		}
+		log.Printf("saved models to %s", savePath)
+	}
+	return est, nil
+}

@@ -78,23 +78,46 @@ func ExtractMetrics(s *perfctr.Sample) *Metrics {
 // cannot happen on real hardware but may in truncated logs) yield zero
 // rates.
 func ExtractMetricsAt(s *perfctr.Sample, nominalHz float64) *Metrics {
-	n := len(s.CPUs)
-	m := &Metrics{
-		NumCPUs:        n,
-		PercentActive:  make([]float64, n),
-		UopsPerCycle:   make([]float64, n),
-		L3LoadPMC:      make([]float64, n),
-		L3AllPMC:       make([]float64, n),
-		BusTxPMC:       make([]float64, n),
-		PrefetchPMC:    make([]float64, n),
-		DMAPMC:         make([]float64, n),
-		UncacheablePMC: make([]float64, n),
-		TLBPMC:         make([]float64, n),
-		IntsPMC:        make([]float64, n),
-		DiskIntsPMC:    make([]float64, n),
-		FreqScale:      make([]float64, n),
-		OSUtil:         make([]float64, n),
+	m := &Metrics{}
+	ExtractMetricsAtInto(m, s, nominalHz)
+	return m
+}
+
+// resizeZeroed returns v with length n and every element zero, reusing
+// v's backing array when it is large enough.
+func resizeZeroed(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
 	}
+	v = v[:n]
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// ExtractMetricsAtInto is ExtractMetricsAt writing into a caller-owned
+// Metrics, reusing its slices. It exists for the online estimation hot
+// path (internal/serve processes 100k+ samples/sec), where the fourteen
+// per-sample slice allocations of the value-returning form dominate the
+// profile; a worker keeps one scratch Metrics and extracts every sample
+// into it.
+func ExtractMetricsAtInto(m *Metrics, s *perfctr.Sample, nominalHz float64) {
+	n := len(s.CPUs)
+	m.NumCPUs = n
+	m.PercentActive = resizeZeroed(m.PercentActive, n)
+	m.UopsPerCycle = resizeZeroed(m.UopsPerCycle, n)
+	m.L3LoadPMC = resizeZeroed(m.L3LoadPMC, n)
+	m.L3AllPMC = resizeZeroed(m.L3AllPMC, n)
+	m.BusTxPMC = resizeZeroed(m.BusTxPMC, n)
+	m.PrefetchPMC = resizeZeroed(m.PrefetchPMC, n)
+	m.DMAPMC = resizeZeroed(m.DMAPMC, n)
+	m.UncacheablePMC = resizeZeroed(m.UncacheablePMC, n)
+	m.TLBPMC = resizeZeroed(m.TLBPMC, n)
+	m.IntsPMC = resizeZeroed(m.IntsPMC, n)
+	m.DiskIntsPMC = resizeZeroed(m.DiskIntsPMC, n)
+	m.FreqScale = resizeZeroed(m.FreqScale, n)
+	m.OSUtil = resizeZeroed(m.OSUtil, n)
 	if s.IntervalSec > 0 {
 		for i := range m.OSUtil {
 			if i < len(s.OSBusySec) {
@@ -145,7 +168,6 @@ func ExtractMetricsAt(s *perfctr.Sample, nominalHz float64) *Metrics {
 			m.DiskIntsPMC[i] = float64(s.Ints[iobus.VecDisk][i]) / mcyc
 		}
 	}
-	return m
 }
 
 // sum adds a per-CPU metric across processors.

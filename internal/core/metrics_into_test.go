@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestExtractMetricsAtIntoMatchesFresh: the reusing form must be
+// indistinguishable from a fresh extraction, including when the scratch
+// Metrics carries stale state from a previous (larger) sample.
+func TestExtractMetricsAtIntoMatchesFresh(t *testing.T) {
+	big := mkSample(0.9, 1.5, 200, 900, 300, 50)
+	big.CPUs = append(big.CPUs, big.CPUs[0], big.CPUs[0]) // 4 CPUs
+	small := mkSample(0.3, 0.4, 50, 100, 20, 10)
+
+	scratch := &Metrics{}
+	ExtractMetricsAtInto(scratch, &big, 2.8e9)
+	if !reflect.DeepEqual(scratch, ExtractMetricsAt(&big, 2.8e9)) {
+		t.Fatal("Into result differs from fresh extraction (big sample)")
+	}
+	// Reuse for a smaller sample: stale tail values must not leak.
+	ExtractMetricsAtInto(scratch, &small, 2.8e9)
+	if !reflect.DeepEqual(scratch, ExtractMetricsAt(&small, 2.8e9)) {
+		t.Fatal("reused scratch differs from fresh extraction (small sample)")
+	}
+	if scratch.NumCPUs != 2 || len(scratch.UopsPerCycle) != 2 {
+		t.Fatalf("scratch not resized: NumCPUs=%d len=%d", scratch.NumCPUs, len(scratch.UopsPerCycle))
+	}
+	for _, v := range scratch.UopsPerCycle {
+		if math.IsNaN(v) {
+			t.Fatal("NaN in reused extraction")
+		}
+	}
+}
+
+// TestExtractMetricsAtIntoZeroAllocSteadyState: after warm-up the
+// reusing form must not allocate — the property internal/serve's
+// 100k+ samples/sec hot path depends on.
+func TestExtractMetricsAtIntoZeroAllocSteadyState(t *testing.T) {
+	s := mkSample(0.7, 1.1, 120, 600, 150, 30)
+	scratch := &Metrics{}
+	ExtractMetricsAtInto(scratch, &s, 2.8e9) // warm-up sizes the slices
+	allocs := testing.AllocsPerRun(100, func() {
+		ExtractMetricsAtInto(scratch, &s, 2.8e9)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ExtractMetricsAtInto allocates %.1f/op, want 0", allocs)
+	}
+}

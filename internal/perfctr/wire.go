@@ -1,0 +1,304 @@
+package perfctr
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format for shipping counter samples off the sampled box to a
+// live estimation service (cmd/tdserve). The paper's pipeline moved
+// samples over a serial-synced offline log merge; the online pipeline
+// moves the same 1 Hz schema over HTTP, so the format optimizes for the
+// ingest hot path: fixed-width little-endian fields, one allocation-free
+// append pass to encode, and a decoder that validates every length
+// prefix against the remaining buffer before allocating anything, so a
+// truncated or hostile payload returns an error instead of an OOM or
+// panic.
+//
+// Layout (all integers little-endian):
+//
+//	batch  := magic "TDS1" | u16 nodeLen | node bytes | u32 count | sample*
+//	sample := f64 targetSeconds | f64 intervalSec
+//	          | u16 nCPU  | nCPU * 10 u64   (CPUCounts field order)
+//	          | u16 nVec | u16 nCol | nVec*nCol u64   (Ints matrix)
+//	          | u16 nBusy | nBusy f64       (OSBusySec)
+//	          | u16 nThr  | nThr f64        (OSThreadBusySec)
+
+// wireMagic identifies (and versions) a sample batch.
+var wireMagic = [4]byte{'T', 'D', 'S', '1'}
+
+// Decoder guard rails. Real machines top out far below these; anything
+// larger is a corrupt or hostile length prefix.
+const (
+	maxWireNode    = 256
+	maxWireCPUs    = 1 << 10
+	maxWireVectors = 1 << 12
+	maxWireSamples = 1 << 20
+)
+
+// countersPerCPU is the number of u64 fields in CPUCounts.
+const countersPerCPU = 10
+
+// EncodeBatch appends the wire encoding of a node's sample batch to buf
+// (which may be nil) and returns the extended buffer. Callers on the
+// send hot path reuse buf across batches to stay allocation-free.
+func EncodeBatch(buf []byte, node string, samples []Sample) ([]byte, error) {
+	if len(node) > maxWireNode {
+		return nil, fmt.Errorf("perfctr: node name %d bytes exceeds wire limit %d", len(node), maxWireNode)
+	}
+	if len(samples) > maxWireSamples {
+		return nil, fmt.Errorf("perfctr: batch of %d samples exceeds wire limit %d", len(samples), maxWireSamples)
+	}
+	buf = append(buf, wireMagic[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(node)))
+	buf = append(buf, node...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(samples)))
+	for i := range samples {
+		var err error
+		if buf, err = appendSample(buf, &samples[i]); err != nil {
+			return nil, fmt.Errorf("perfctr: sample %d: %w", i, err)
+		}
+	}
+	return buf, nil
+}
+
+// appendSample appends one sample's wire encoding.
+func appendSample(buf []byte, s *Sample) ([]byte, error) {
+	if len(s.CPUs) > maxWireCPUs {
+		return nil, fmt.Errorf("%d CPUs exceeds wire limit %d", len(s.CPUs), maxWireCPUs)
+	}
+	if len(s.Ints) > maxWireVectors {
+		return nil, fmt.Errorf("%d interrupt vectors exceeds wire limit %d", len(s.Ints), maxWireVectors)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.TargetSeconds))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.IntervalSec))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.CPUs)))
+	for i := range s.CPUs {
+		c := &s.CPUs[i]
+		for _, v := range [countersPerCPU]uint64{
+			c.Cycles, c.HaltedCycles, c.FetchedUops, c.L3LoadMisses,
+			c.L3Misses, c.TLBMisses, c.BusTx, c.BusPrefetchTx,
+			c.DMAOther, c.Uncacheable,
+		} {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	// The matrix is rectangular on the wire; rows shorter than the
+	// widest are zero-padded (the OS accounting is rectangular anyway).
+	cols := 0
+	for _, row := range s.Ints {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	if cols > maxWireCPUs {
+		return nil, fmt.Errorf("%d interrupt columns exceeds wire limit %d", cols, maxWireCPUs)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.Ints)))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(cols))
+	for _, row := range s.Ints {
+		for c := 0; c < cols; c++ {
+			var v uint64
+			if c < len(row) {
+				v = row[c]
+			}
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	for _, vec := range [][]float64{s.OSBusySec, s.OSThreadBusySec} {
+		if len(vec) > maxWireCPUs {
+			return nil, fmt.Errorf("%d busy-time entries exceeds wire limit %d", len(vec), maxWireCPUs)
+		}
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(vec)))
+		for _, v := range vec {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// wireReader walks a received buffer with bounds checking.
+type wireReader struct {
+	buf []byte
+	off int
+}
+
+func (r *wireReader) need(n int) error {
+	if n < 0 || len(r.buf)-r.off < n {
+		return fmt.Errorf("perfctr: truncated wire batch at offset %d (need %d of %d bytes)",
+			r.off, n, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+func (r *wireReader) u16() (int, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return int(v), nil
+}
+
+func (r *wireReader) u32() (int, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return int(v), nil
+}
+
+func (r *wireReader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *wireReader) f64() (float64, error) {
+	v, err := r.u64()
+	return math.Float64frombits(v), err
+}
+
+// DecodeBatch parses one wire batch, returning the node name and its
+// samples. Every length prefix is validated against both the wire
+// limits and the bytes actually present before allocation, and the
+// per-sample timestamps must be finite (a NaN interval would poison the
+// per-cycle normalization downstream). Trailing garbage after the last
+// sample is rejected: a length mismatch means a framing bug, not data.
+func DecodeBatch(buf []byte) (node string, samples []Sample, err error) {
+	r := &wireReader{buf: buf}
+	if err := r.need(4); err != nil {
+		return "", nil, err
+	}
+	if [4]byte(r.buf[:4]) != wireMagic {
+		return "", nil, fmt.Errorf("perfctr: bad wire magic %q", r.buf[:4])
+	}
+	r.off = 4
+	nodeLen, err := r.u16()
+	if err != nil {
+		return "", nil, err
+	}
+	if nodeLen > maxWireNode {
+		return "", nil, fmt.Errorf("perfctr: node name %d bytes exceeds wire limit %d", nodeLen, maxWireNode)
+	}
+	if err := r.need(nodeLen); err != nil {
+		return "", nil, err
+	}
+	node = string(r.buf[r.off : r.off+nodeLen])
+	r.off += nodeLen
+	count, err := r.u32()
+	if err != nil {
+		return "", nil, err
+	}
+	if count > maxWireSamples {
+		return "", nil, fmt.Errorf("perfctr: batch of %d samples exceeds wire limit %d", count, maxWireSamples)
+	}
+	// A sample is at least 2 f64 + 4 u16 counts: cheap sanity before the
+	// count-sized allocation.
+	if err := r.need(count * 24); err != nil {
+		return "", nil, fmt.Errorf("perfctr: %d-sample batch larger than payload: %w", count, err)
+	}
+	samples = make([]Sample, count)
+	for i := range samples {
+		if err := decodeSample(r, &samples[i]); err != nil {
+			return "", nil, fmt.Errorf("perfctr: sample %d: %w", i, err)
+		}
+	}
+	if r.off != len(buf) {
+		return "", nil, fmt.Errorf("perfctr: %d trailing bytes after wire batch", len(buf)-r.off)
+	}
+	return node, samples, nil
+}
+
+// decodeSample parses one sample in place.
+func decodeSample(r *wireReader, s *Sample) error {
+	var err error
+	if s.TargetSeconds, err = r.f64(); err != nil {
+		return err
+	}
+	if s.IntervalSec, err = r.f64(); err != nil {
+		return err
+	}
+	if !isFinite(s.TargetSeconds) || !isFinite(s.IntervalSec) {
+		return fmt.Errorf("non-finite timestamp (t=%g interval=%g)", s.TargetSeconds, s.IntervalSec)
+	}
+	nCPU, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if nCPU > maxWireCPUs {
+		return fmt.Errorf("%d CPUs exceeds wire limit %d", nCPU, maxWireCPUs)
+	}
+	if err := r.need(nCPU * countersPerCPU * 8); err != nil {
+		return err
+	}
+	s.CPUs = make([]CPUCounts, nCPU)
+	for i := range s.CPUs {
+		c := &s.CPUs[i]
+		for _, dst := range [countersPerCPU]*uint64{
+			&c.Cycles, &c.HaltedCycles, &c.FetchedUops, &c.L3LoadMisses,
+			&c.L3Misses, &c.TLBMisses, &c.BusTx, &c.BusPrefetchTx,
+			&c.DMAOther, &c.Uncacheable,
+		} {
+			*dst, _ = r.u64()
+		}
+	}
+	nVec, err := r.u16()
+	if err != nil {
+		return err
+	}
+	cols, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if nVec > maxWireVectors || cols > maxWireCPUs {
+		return fmt.Errorf("interrupt matrix %dx%d exceeds wire limits", nVec, cols)
+	}
+	if err := r.need(nVec * cols * 8); err != nil {
+		return err
+	}
+	if nVec > 0 {
+		s.Ints = make([][]uint64, nVec)
+		flat := make([]uint64, nVec*cols)
+		for v := range s.Ints {
+			s.Ints[v] = flat[v*cols : (v+1)*cols : (v+1)*cols]
+			for c := 0; c < cols; c++ {
+				s.Ints[v][c], _ = r.u64()
+			}
+		}
+	}
+	for _, dst := range []*[]float64{&s.OSBusySec, &s.OSThreadBusySec} {
+		n, err := r.u16()
+		if err != nil {
+			return err
+		}
+		if n > maxWireCPUs {
+			return fmt.Errorf("%d busy-time entries exceeds wire limit %d", n, maxWireCPUs)
+		}
+		if err := r.need(n * 8); err != nil {
+			return err
+		}
+		if n > 0 {
+			vec := make([]float64, n)
+			for i := range vec {
+				if vec[i], err = r.f64(); err != nil {
+					return err
+				}
+				if !isFinite(vec[i]) {
+					return fmt.Errorf("non-finite busy time %g", vec[i])
+				}
+			}
+			*dst = vec
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,220 @@
+package perfctr
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func wireTestSamples() []Sample {
+	return []Sample{
+		{
+			TargetSeconds: 1.0,
+			IntervalSec:   1.001,
+			CPUs: []CPUCounts{
+				{Cycles: 2_800_000_000, HaltedCycles: 1_000_000_000, FetchedUops: 3_000_000_000,
+					L3LoadMisses: 12_000, L3Misses: 15_000, TLBMisses: 900,
+					BusTx: 40_000, BusPrefetchTx: 9_000, DMAOther: 3_000, Uncacheable: 120},
+				{Cycles: 2_799_999_999, FetchedUops: 7},
+			},
+			Ints:      [][]uint64{{100, 2}, {0, 7}, {3, 0}},
+			OSBusySec: []float64{0.75, 0.10},
+		},
+		{
+			TargetSeconds:   2.0,
+			IntervalSec:     0.999,
+			CPUs:            []CPUCounts{{Cycles: 1}},
+			OSThreadBusySec: []float64{0.5},
+		},
+		{TargetSeconds: 3.0, IntervalSec: 1.0}, // no CPUs at all
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	in := wireTestSamples()
+	buf, err := EncodeBatch(nil, "node07", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, out, err := DecodeBatch(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != "node07" {
+		t.Errorf("node = %q, want node07", node)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d samples, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if !reflect.DeepEqual(normalizeSample(in[i]), normalizeSample(out[i])) {
+			t.Errorf("sample %d round-trip mismatch:\n in: %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+}
+
+// normalizeSample maps an empty slice to nil and pads ragged interrupt
+// rows, matching the rectangular wire representation.
+func normalizeSample(s Sample) Sample {
+	if len(s.CPUs) == 0 {
+		s.CPUs = nil
+	}
+	if len(s.Ints) == 0 {
+		s.Ints = nil
+	} else {
+		cols := 0
+		for _, row := range s.Ints {
+			if len(row) > cols {
+				cols = len(row)
+			}
+		}
+		padded := make([][]uint64, len(s.Ints))
+		for v, row := range s.Ints {
+			padded[v] = make([]uint64, cols)
+			copy(padded[v], row)
+		}
+		s.Ints = padded
+	}
+	if len(s.OSBusySec) == 0 {
+		s.OSBusySec = nil
+	}
+	if len(s.OSThreadBusySec) == 0 {
+		s.OSThreadBusySec = nil
+	}
+	return s
+}
+
+func TestWireEncodeReusesBuffer(t *testing.T) {
+	in := wireTestSamples()
+	buf, err := EncodeBatch(nil, "n", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := EncodeBatch(buf[:0], "n", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again[0] != &buf[0] {
+		t.Error("encode into a reused buffer reallocated")
+	}
+}
+
+func TestWireDecodeRejectsCorruption(t *testing.T) {
+	good, err := EncodeBatch(nil, "node", wireTestSamples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"truncated header", func(b []byte) []byte { return b[:5] }},
+		{"truncated mid-sample", func(b []byte) []byte { return b[:len(b)-9] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }},
+		{"oversize sample count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[10:], 1<<30)
+			return b
+		}},
+		{"count larger than payload", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[10:], 1000)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.mut(append([]byte(nil), good...))
+			if _, _, err := DecodeBatch(b); err == nil {
+				t.Errorf("corrupt batch decoded without error")
+			}
+		})
+	}
+}
+
+func TestWireDecodeRejectsNonFiniteTimes(t *testing.T) {
+	buf, err := EncodeBatch(nil, "n", []Sample{{TargetSeconds: 1, IntervalSec: math.NaN()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeBatch(buf); err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("NaN interval decoded without error (err=%v)", err)
+	}
+}
+
+func TestWireEncodeRejectsOversize(t *testing.T) {
+	if _, err := EncodeBatch(nil, strings.Repeat("n", maxWireNode+1), nil); err == nil {
+		t.Error("oversize node name encoded")
+	}
+	if _, err := EncodeBatch(nil, "n", []Sample{{CPUs: make([]CPUCounts, maxWireCPUs+1)}}); err == nil {
+		t.Error("oversize CPU count encoded")
+	}
+}
+
+// FuzzDecodeBatch asserts the decoder never panics or over-allocates on
+// arbitrary input — it is fed straight from HTTP request bodies.
+func FuzzDecodeBatch(f *testing.F) {
+	good, err := EncodeBatch(nil, "node", wireTestSamples())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:12])
+	f.Add([]byte("TDS1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		node, samples, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if len(node) > maxWireNode || len(samples) > maxWireSamples {
+			t.Fatalf("decoder exceeded wire limits: node=%d samples=%d", len(node), len(samples))
+		}
+		// Whatever decodes must re-encode and decode identically.
+		re, err := EncodeBatch(nil, node, samples)
+		if err != nil {
+			t.Fatalf("re-encode of decoded batch failed: %v", err)
+		}
+		if _, _, err := DecodeBatch(re); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+	})
+}
+
+func BenchmarkWireEncodeBatch(b *testing.B) {
+	samples := make([]Sample, 256)
+	for i := range samples {
+		samples[i] = wireTestSamples()[0]
+		samples[i].TargetSeconds = float64(i)
+	}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = EncodeBatch(buf[:0], "node00", samples)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkWireDecodeBatch(b *testing.B) {
+	samples := make([]Sample, 256)
+	for i := range samples {
+		samples[i] = wireTestSamples()[0]
+		samples[i].TargetSeconds = float64(i)
+	}
+	buf, err := EncodeBatch(nil, "node00", samples)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DecodeBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

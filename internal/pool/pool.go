@@ -78,11 +78,31 @@ type Retry struct {
 	MaxDelay time.Duration
 }
 
+// maxBackoff bounds the exponential doubling when MaxDelay is zero
+// ("uncapped"). time.Duration is an int64 of nanoseconds: doubling past
+// its ceiling wraps negative, and a negative timer fires immediately —
+// turning a polite retry schedule into a hot loop exactly when the
+// dependency is down hardest.
+const maxBackoff = time.Duration(1) << 62
+
+// Backoff returns the wait before retry number n (1-based): BaseDelay
+// doubled per retry, capped at MaxDelay (or at an internal ceiling when
+// MaxDelay is zero, so the doubling can never overflow time.Duration to
+// a negative — and therefore immediate — wait). Exported so callers
+// running their own retry loops (internal/serve's estimation workers)
+// share one correct schedule instead of re-deriving it.
+func (r Retry) Backoff(n int) time.Duration { return r.backoff(n) }
+
 // backoff returns the wait before retry number n (1-based), doubling
-// from BaseDelay and capped at MaxDelay.
+// from BaseDelay and capped at MaxDelay (or maxBackoff when MaxDelay is
+// zero, so the doubling can never overflow to a negative wait).
 func (r Retry) backoff(n int) time.Duration {
 	d := r.BaseDelay
 	for i := 1; i < n; i++ {
+		if d >= maxBackoff/2 {
+			d = maxBackoff
+			break
+		}
 		d *= 2
 		if r.MaxDelay > 0 && d >= r.MaxDelay {
 			return r.MaxDelay

@@ -307,6 +307,31 @@ func TestRetryBackoffCap(t *testing.T) {
 	}
 }
 
+// TestRetryBackoffUncappedNeverOverflows is the regression test for the
+// MaxDelay == 0 overflow: ~63 doublings of a 1 s base used to wrap
+// time.Duration negative, so the retry timer fired immediately and the
+// "backoff" became a hot loop. Every attempt number, however absurd,
+// must produce a positive, non-decreasing wait.
+func TestRetryBackoffUncappedNeverOverflows(t *testing.T) {
+	r := Retry{Attempts: 1 << 20, BaseDelay: time.Second}
+	prev := time.Duration(0)
+	for _, n := range []int{1, 2, 10, 32, 62, 63, 64, 65, 100, 1000, 1 << 20} {
+		got := r.backoff(n)
+		if got <= 0 {
+			t.Fatalf("backoff(%d) = %v, want positive (overflowed)", n, got)
+		}
+		if got < prev {
+			t.Fatalf("backoff(%d) = %v decreased from %v", n, got, prev)
+		}
+		prev = got
+	}
+	// A cap supplied by the caller still wins over the overflow clamp.
+	capped := Retry{BaseDelay: time.Second, MaxDelay: time.Minute}
+	if got := capped.backoff(200); got != time.Minute {
+		t.Errorf("capped backoff(200) = %v, want %v", got, time.Minute)
+	}
+}
+
 func TestRunEmptyAndDefaults(t *testing.T) {
 	if err := New(2).Run(context.Background(), 0, nil); err != nil {
 		t.Errorf("empty run: %v", err)

@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"trickledown/internal/perfctr"
+	"trickledown/internal/telemetry"
+)
+
+// maxBodyBytes bounds an ingest request body. Sized for a MaxBatch of
+// large (32-CPU) samples with slack; anything bigger is hostile or
+// misconfigured and gets 413 before decode allocates for it.
+const maxBodyBytes = 64 << 20
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /ingest   perfctr wire-format batch (TDS1); client identity
+//	               from X-Client-ID, falling back to the remote address
+//	GET  /power    one node's live power (?node=NAME)
+//	GET  /fleet    cross-node aggregate with degradation flags
+//	GET  /statz    machine-readable service stats (the loadgen contract)
+//	GET  /healthz  liveness
+//	/metrics, /debug/telemetry, /debug/vars via internal/telemetry
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", s.handleIngest)
+	mux.HandleFunc("/power", s.handlePower)
+	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// The telemetry mux owns /metrics and /debug/*; delegating the paths
+	// keeps one exposition implementation process-wide.
+	tm := telemetry.Handler()
+	mux.Handle("/metrics", tm)
+	mux.Handle("/debug/", tm)
+	return mux
+}
+
+// retryAfterSeconds renders the configured Retry-After, never below 1s
+// (the header is integer seconds; advertising 0 invites an instant
+// retry storm from naive producers).
+func (s *Server) retryAfterSeconds() string {
+	secs := int(s.cfg.RetryAfter.Seconds())
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
+
+// handleIngest is the wire entry point: decode, admit, 202. Overload
+// and rate limiting answer 429 with Retry-After so producers have an
+// explicit backoff contract instead of guessing from timeouts.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
+		return
+	}
+	node, samples, err := perfctr.DecodeBatch(body)
+	if err != nil {
+		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	client := r.Header.Get("X-Client-ID")
+	if client == "" {
+		client = r.RemoteAddr
+	}
+	switch err := s.Ingest(client, node, samples); {
+	case err == nil:
+		w.WriteHeader(http.StatusAccepted)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrBatchTooLarge):
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handlePower(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("node")
+	if name == "" {
+		http.Error(w, "missing ?node=", http.StatusBadRequest)
+		return
+	}
+	np, ok := s.NodePower(name)
+	if !ok {
+		http.Error(w, "unknown node", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, np)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Fleet())
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

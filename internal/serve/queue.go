@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"trickledown/internal/perfctr"
+)
+
+// batch is one admitted ingest request moving through the request
+// journey. The four timestamps are the span taxonomy the latency
+// histograms are built from:
+//
+//	ARRIVED   arrived   request received, body decoded
+//	QUEUED    queued    admitted past rate limit + queue bound
+//	SCHEDULED (worker)  an estimation worker picked the batch up
+//	DEPARTED  (worker)  estimates folded into node state
+//
+// ARRIVED→QUEUED is admission cost, QUEUED→SCHEDULED is queue wait (the
+// overload signal), SCHEDULED→DEPARTED is batched estimation time, and
+// ARRIVED→DEPARTED is the end-to-end latency the p99 budget is set on.
+type batch struct {
+	node    string
+	samples []perfctr.Sample
+	arrived time.Time
+	queued  time.Time
+}
+
+// errQueueClosed distinguishes shutdown from overload inside the queue;
+// callers surface ErrClosed / ErrQueueFull respectively.
+var errQueueClosed = errors.New("serve: queue closed")
+
+// ingestQueue is the bounded spine of the server: a channel whose
+// capacity is the explicit backpressure boundary. Enqueue never blocks —
+// a full queue is an immediate, honest 429 to the producer rather than
+// unbounded memory growth or silent latency.
+type ingestQueue struct {
+	mu     sync.RWMutex
+	ch     chan *batch
+	closed bool
+}
+
+func newIngestQueue(depth int) *ingestQueue {
+	return &ingestQueue{ch: make(chan *batch, depth)}
+}
+
+// tryEnqueue admits b or reports why not (errQueueClosed, ErrQueueFull).
+// On success it stamps b.queued — the QUEUED event.
+func (q *ingestQueue) tryEnqueue(b *batch) error {
+	q.mu.RLock()
+	defer q.mu.RUnlock()
+	if q.closed {
+		return errQueueClosed
+	}
+	b.queued = time.Now()
+	select {
+	case q.ch <- b:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// close stops intake. Workers drain whatever is already queued and then
+// see the channel close.
+func (q *ingestQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.closed {
+		q.closed = true
+		close(q.ch)
+	}
+}
+
+// depth returns the number of queued batches.
+func (q *ingestQueue) depth() int { return len(q.ch) }
+
+// capacity returns the queue bound.
+func (q *ingestQueue) capacity() int { return cap(q.ch) }

@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTrackedClients bounds the limiter's memory against client-ID churn
+// (a producer fleet rolling its identifiers). Past the bound the table
+// is reset: brief over-admission beats unbounded growth, and the queue
+// bound behind the limiter still holds the real line.
+const maxTrackedClients = 16384
+
+// rateLimiter is a per-client token bucket in samples (not requests):
+// a client sending huge batches spends tokens proportionally, so the
+// limit is on ingest volume, the resource that actually saturates the
+// estimation workers.
+type rateLimiter struct {
+	rate  float64 // tokens (samples) per second per client
+	burst float64 // bucket capacity
+	mu    sync.Mutex
+	m     map[string]*tokenBucket
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter returns nil when rate is non-positive: a nil limiter
+// admits everything, so the unlimited path costs nothing.
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < rate {
+		burst = rate
+	}
+	return &rateLimiter{rate: rate, burst: burst, m: make(map[string]*tokenBucket)}
+}
+
+// allow spends n tokens from client's bucket at time now, reporting
+// whether the client is within its rate.
+func (l *rateLimiter) allow(client string, n float64, now time.Time) bool {
+	if l == nil {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.m[client]
+	if b == nil {
+		if len(l.m) >= maxTrackedClients {
+			l.m = make(map[string]*tokenBucket)
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.m[client] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+	}
+	b.last = now
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}

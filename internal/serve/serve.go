@@ -1,0 +1,672 @@
+// Package serve is the live counterpart of the batch pipeline: a
+// long-running power-estimation service that ingests batches of
+// perfctr.Sample counter records per node over the wire, runs the five
+// trained subsystem estimators online, and serves per-node and
+// fleet-aggregate power under an explicit latency budget.
+//
+// The spine is a bounded ingest queue with honest backpressure: a full
+// queue is an immediate 429 + Retry-After to the producer, never
+// unbounded memory growth. Admission is guarded by per-client token
+// buckets (denominated in samples, the resource that saturates the
+// estimation workers), estimation runs on batched workers driven
+// through internal/pool, and every batch carries the request-journey
+// span taxonomy — ARRIVED → QUEUED → SCHEDULED → DEPARTED — so queue
+// wait is a first-class measured interval in the latency histograms,
+// not a blind spot inside an end-to-end number.
+//
+// Overload degrades gracefully instead of lying: shed samples are
+// counted by reason, the fleet aggregate flags itself degraded while
+// shedding or while nodes go stale, and non-finite estimates (glitched
+// counters, poisoned models) are quarantined into a counter while the
+// node keeps reporting its last good reading. The internal/faults
+// injector machinery plugs in via SetFaultInjector for overload and
+// corruption drills.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trickledown/internal/core"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/pool"
+	"trickledown/internal/power"
+	"trickledown/internal/sim"
+	"trickledown/internal/telemetry"
+)
+
+// latencyBuckets resolve the service's operating range: ingest-to-
+// estimate is expected in the 10 µs – 10 ms band, with the tail buckets
+// catching overload (where queue wait dominates).
+var latencyBuckets = []float64{
+	1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5,
+}
+
+// Serve telemetry is process-wide like every other package's: one
+// service picture regardless of how many Server values exist (tests
+// assert on per-server Stats instead).
+var (
+	mSamplesIngested = telemetry.NewCounter("serve_samples_ingested_total",
+		"counter samples admitted into the ingest queue")
+	mSamplesEstimated = telemetry.NewCounter("serve_samples_estimated_total",
+		"samples run through the subsystem estimators")
+	mSamplesShed = telemetry.NewCounterVec("serve_samples_shed_total",
+		"samples rejected at admission, by reason", "reason")
+	mBatches = telemetry.NewCounter("serve_batches_processed_total",
+		"ingest batches fully estimated")
+	mQueueDepth = telemetry.NewGauge("serve_queue_depth",
+		"ingest batches waiting for an estimation worker")
+	mNodesTracked = telemetry.NewGauge("serve_nodes_tracked",
+		"distinct nodes with live power state")
+	mNonFinite = telemetry.NewCounter("serve_nonfinite_estimates_total",
+		"per-sample estimates dropped because a rail came back NaN/Inf")
+	mShedding = telemetry.NewGauge("serve_shedding",
+		"1 while admission control is actively shedding (queue recently full)")
+	mEstimatePanics = telemetry.NewCounter("serve_estimate_panics_total",
+		"estimation batch panics recovered (and retried per policy)")
+	mAdmission = telemetry.NewHistogram("serve_admission_seconds",
+		"ARRIVED to QUEUED: decode plus admission control", latencyBuckets)
+	mQueueWait = telemetry.NewHistogram("serve_queue_wait_seconds",
+		"QUEUED to SCHEDULED: batch wait for an estimation worker", latencyBuckets)
+	mService = telemetry.NewHistogram("serve_service_seconds",
+		"SCHEDULED to DEPARTED: batched estimation time", latencyBuckets)
+	mE2E = telemetry.NewHistogram("serve_e2e_seconds",
+		"ARRIVED to DEPARTED: end-to-end ingest-to-estimate latency", latencyBuckets)
+)
+
+// Admission errors, surfaced by Ingest and mapped to HTTP statuses by
+// the handler (429/429/503/413 respectively).
+var (
+	ErrQueueFull     = errors.New("serve: ingest queue full")
+	ErrRateLimited   = errors.New("serve: client rate limited")
+	ErrClosed        = errors.New("serve: server closed")
+	ErrBatchTooLarge = errors.New("serve: batch exceeds sample limit")
+)
+
+// shedHold is how long after a queue-full rejection the server reports
+// itself as actively shedding: long enough for scrapers at 1 Hz to see
+// the state, short enough to clear promptly once producers back off.
+const shedHold = 2 * time.Second
+
+// Config configures a Server. The zero value of every field except
+// Estimator is usable; defaults are documented per field.
+type Config struct {
+	// Estimator is the trained five-subsystem power estimator. Required.
+	Estimator *core.Estimator
+	// QueueDepth bounds the ingest queue in batches (default 256). The
+	// bound times the mean batch size is the server's overload buffer.
+	QueueDepth int
+	// MaxBatch caps samples per ingest request (default 8192); larger
+	// requests are rejected whole with ErrBatchTooLarge.
+	MaxBatch int
+	// Workers is the number of estimation workers (default GOMAXPROCS).
+	Workers int
+	// RatePerClient is the per-client admission rate in samples/sec;
+	// non-positive disables per-client limiting.
+	RatePerClient float64
+	// Burst is the token-bucket capacity (default max(RatePerClient,
+	// 4*MaxBatch) so one full batch is always admissible from idle).
+	Burst float64
+	// RetryAfter is advertised on 429 responses (default 1s).
+	RetryAfter time.Duration
+	// NominalHz is the sampled machines' core clock for per-cycle
+	// normalization (default sim.DefaultCoreHz).
+	NominalHz float64
+	// Retry is the per-batch estimation retry policy for recovered
+	// panics (default: no retries). The backoff schedule is
+	// pool.Retry's overflow-safe doubling.
+	Retry pool.Retry
+	// StaleAfter is the wall-clock age past which a node's last reading
+	// is excluded from the fleet aggregate and counted stale
+	// (default 15s).
+	StaleAfter time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8192
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.RatePerClient
+		if min := 4 * float64(c.MaxBatch); c.Burst < min {
+			c.Burst = min
+		}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.NominalHz <= 0 {
+		c.NominalHz = sim.DefaultCoreHz
+	}
+	if c.StaleAfter <= 0 {
+		c.StaleAfter = 15 * time.Second
+	}
+	return c
+}
+
+// nodeState is one node's live power view, updated by estimation
+// workers and read by query handlers.
+type nodeState struct {
+	mu        sync.Mutex
+	samples   uint64
+	nonfinite uint64
+	lastT     float64       // target clock of the newest estimated sample
+	lastWall  time.Time     // wall clock of the newest estimate
+	last      power.Reading // last good (finite) per-rail estimate
+	hasGood   bool
+}
+
+// apply folds one processed batch into the node state.
+func (n *nodeState) apply(wall time.Time, count, bad uint64, lastT float64, last power.Reading, hasGood bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.samples += count
+	n.nonfinite += bad
+	if count > bad && lastT >= n.lastT {
+		n.lastT = lastT
+		if hasGood {
+			n.last = last
+			n.hasGood = true
+		}
+	}
+	n.lastWall = wall
+}
+
+// Server is the live estimation service. Create with New, start with
+// Start, stop with Close. All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	est     *core.Estimator
+	queue   *ingestQueue
+	limiter *rateLimiter
+	p       *pool.Pool
+
+	nodesMu sync.RWMutex
+	nodes   map[string]*nodeState
+
+	faultMu sync.RWMutex
+	fault   perfctr.FaultInjector
+
+	ctx         context.Context
+	cancel      context.CancelFunc
+	workersDone chan struct{}
+	started     atomic.Bool
+	shedUntil   atomic.Int64 // unix nanos; shedding active while now < shedUntil
+
+	// Per-server counters mirror the process-wide telemetry so tests
+	// and multi-server processes get isolated numbers.
+	ingested  atomic.Uint64
+	estimated atomic.Uint64
+	shed      atomic.Uint64
+	nonfinite atomic.Uint64
+	panics    atomic.Uint64
+}
+
+// New validates cfg and returns an unstarted server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Estimator == nil {
+		return nil, fmt.Errorf("serve: Config.Estimator is required")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:         cfg,
+		est:         cfg.Estimator,
+		queue:       newIngestQueue(cfg.QueueDepth),
+		limiter:     newRateLimiter(cfg.RatePerClient, cfg.Burst),
+		p:           pool.New(cfg.Workers),
+		nodes:       make(map[string]*nodeState),
+		ctx:         ctx,
+		cancel:      cancel,
+		workersDone: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the estimation workers. It must be called exactly once.
+func (s *Server) Start() {
+	if !s.started.CompareAndSwap(false, true) {
+		panic("serve: Server started twice")
+	}
+	go func() {
+		defer close(s.workersDone)
+		// The pool is sized to Workers, so every loop is dispatched
+		// immediately and holds its slot for the server's lifetime; pool
+		// telemetry and panic containment come along for free.
+		_ = s.p.Run(s.ctx, s.cfg.Workers, func(ctx context.Context, i int) error {
+			s.workerLoop(ctx)
+			return nil
+		})
+	}()
+}
+
+// Close stops intake, lets the workers drain everything already queued,
+// and waits for them to exit. ctx bounds the drain: if it fires first,
+// the remaining queue is abandoned (hard cancel) and ctx.Err returned.
+func (s *Server) Close(ctx context.Context) error {
+	s.queue.close()
+	if !s.started.Load() {
+		s.cancel()
+		return nil
+	}
+	select {
+	case <-s.workersDone:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-s.workersDone
+		return ctx.Err()
+	}
+}
+
+// SetFaultInjector installs (or with nil removes) a counter fault
+// injector applied to every sample before estimation — the
+// internal/faults drill hook.
+func (s *Server) SetFaultInjector(f perfctr.FaultInjector) {
+	s.faultMu.Lock()
+	s.fault = f
+	s.faultMu.Unlock()
+}
+
+func (s *Server) faultInjector() perfctr.FaultInjector {
+	s.faultMu.RLock()
+	defer s.faultMu.RUnlock()
+	return s.fault
+}
+
+// Ingest admits a batch of one node's samples on behalf of client. It
+// returns nil when the batch is queued (ARRIVED→QUEUED), or one of
+// ErrBatchTooLarge, ErrRateLimited, ErrQueueFull, ErrClosed. The samples
+// slice is owned by the server after a nil return.
+func (s *Server) Ingest(client, node string, samples []perfctr.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	arrived := time.Now()
+	n := uint64(len(samples))
+	if len(samples) > s.cfg.MaxBatch {
+		s.shedN("batch_too_large", n)
+		return fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(samples), s.cfg.MaxBatch)
+	}
+	if !s.limiter.allow(client, float64(len(samples)), arrived) {
+		s.shedN("rate_limited", n)
+		return ErrRateLimited
+	}
+	b := &batch{node: node, samples: samples, arrived: arrived}
+	if err := s.queue.tryEnqueue(b); err != nil {
+		if errors.Is(err, errQueueClosed) {
+			s.shedN("closed", n)
+			return ErrClosed
+		}
+		s.markShedding()
+		s.shedN("queue_full", n)
+		return ErrQueueFull
+	}
+	mQueueDepth.Set(float64(s.queue.depth()))
+	mAdmission.Observe(b.queued.Sub(arrived).Seconds())
+	mSamplesIngested.Add(n)
+	s.ingested.Add(n)
+	return nil
+}
+
+// shedN counts rejected samples under a reason label.
+func (s *Server) shedN(reason string, n uint64) {
+	mSamplesShed.With(reason).Add(n)
+	s.shed.Add(n)
+}
+
+// markShedding opens (or extends) the shedding window.
+func (s *Server) markShedding() {
+	s.shedUntil.Store(time.Now().Add(shedHold).UnixNano())
+	mShedding.Set(1)
+}
+
+// SheddingActive reports whether the server rejected work for queue-full
+// within the last shedHold.
+func (s *Server) SheddingActive() bool {
+	active := time.Now().UnixNano() < s.shedUntil.Load()
+	if !active {
+		mShedding.Set(0)
+	}
+	return active
+}
+
+// workerLoop drains the queue until it closes (graceful Close) or ctx
+// fires (hard cancel, abandoning queued batches).
+func (s *Server) workerLoop(ctx context.Context) {
+	scratch := &core.Metrics{}
+	for {
+		// Priority check: when a hard cancel and queued work are both
+		// ready, select picks randomly — a cancelled worker must not
+		// keep draining.
+		if ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case b, ok := <-s.queue.ch:
+			if !ok {
+				return
+			}
+			mQueueDepth.Set(float64(s.queue.depth()))
+			s.runBatch(ctx, b, scratch)
+		}
+	}
+}
+
+// runBatch estimates one batch under the retry policy: a panicking
+// estimation attempt (poisoned model, hostile sample) is recovered,
+// counted, and retried with overflow-safe backoff; retries exhausted
+// means the batch is dropped, never the worker.
+func (s *Server) runBatch(ctx context.Context, b *batch, scratch *core.Metrics) {
+	attempts := s.cfg.Retry.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 1; ; attempt++ {
+		err := s.processProtected(b, scratch)
+		if err == nil || attempt >= attempts {
+			return
+		}
+		if wait := s.cfg.Retry.Backoff(attempt); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// processProtected is one estimation attempt with panic containment.
+func (s *Server) processProtected(b *batch, scratch *core.Metrics) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			mEstimatePanics.Inc()
+			s.panics.Add(1)
+			err = pool.NewPanicError(v)
+		}
+	}()
+	s.process(b, scratch)
+	return nil
+}
+
+// process runs the batch through the estimators (SCHEDULED→DEPARTED)
+// and folds the result into node state. Non-finite per-sample estimates
+// are quarantined into counters; the node keeps its last good reading so
+// the fleet aggregate never turns NaN.
+func (s *Server) process(b *batch, scratch *core.Metrics) {
+	scheduled := time.Now()
+	mQueueWait.Observe(scheduled.Sub(b.queued).Seconds())
+	fault := s.faultInjector()
+	var (
+		bad     uint64
+		lastT   float64
+		lastR   power.Reading
+		hasGood bool
+	)
+	for i := range b.samples {
+		smp := &b.samples[i]
+		if fault != nil {
+			for c := range smp.CPUs {
+				fault.PerturbCounts(smp.TargetSeconds, c, &smp.CPUs[c])
+			}
+		}
+		core.ExtractMetricsAtInto(scratch, smp, s.cfg.NominalHz)
+		r := s.est.EstimateMetrics(scratch)
+		if finiteReading(r) {
+			lastR = r
+			hasGood = true
+		} else {
+			bad++
+			mNonFinite.Inc()
+			s.nonfinite.Add(1)
+		}
+		if smp.TargetSeconds > lastT {
+			lastT = smp.TargetSeconds
+		}
+	}
+	departed := time.Now()
+	s.node(b.node).apply(departed, uint64(len(b.samples)), bad, lastT, lastR, hasGood)
+	mSamplesEstimated.Add(uint64(len(b.samples)))
+	s.estimated.Add(uint64(len(b.samples)))
+	mBatches.Inc()
+	mService.Observe(departed.Sub(scheduled).Seconds())
+	mE2E.Observe(departed.Sub(b.arrived).Seconds())
+}
+
+// finiteReading reports whether every rail of r is finite.
+func finiteReading(r power.Reading) bool {
+	for _, v := range r {
+		if v != v || v > 1e308 || v < -1e308 {
+			return false
+		}
+	}
+	return true
+}
+
+// node returns (creating on first sight) the state for a node name.
+func (s *Server) node(name string) *nodeState {
+	s.nodesMu.RLock()
+	st, ok := s.nodes[name]
+	s.nodesMu.RUnlock()
+	if ok {
+		return st
+	}
+	s.nodesMu.Lock()
+	defer s.nodesMu.Unlock()
+	if st, ok = s.nodes[name]; ok {
+		return st
+	}
+	st = &nodeState{}
+	s.nodes[name] = st
+	mNodesTracked.Set(float64(len(s.nodes)))
+	return st
+}
+
+// QueueDepth returns the number of batches waiting for a worker.
+func (s *Server) QueueDepth() int { return s.queue.depth() }
+
+// NodePower is one node's live power view.
+type NodePower struct {
+	Node string `json:"node"`
+	// Samples is how many of the node's samples reached the estimators;
+	// NonFinite of those produced a NaN/Inf rail and were quarantined.
+	Samples   uint64 `json:"samples"`
+	NonFinite uint64 `json:"nonfinite,omitempty"`
+	// LastTargetSeconds is the target-clock timestamp of the newest
+	// estimated sample; AgeSeconds its wall-clock staleness.
+	LastTargetSeconds float64 `json:"last_target_seconds"`
+	AgeSeconds        float64 `json:"age_seconds"`
+	Stale             bool    `json:"stale"`
+	// Power is the last good per-rail estimate plus "Total", in Watts.
+	// Empty until the node's first finite estimate.
+	Power map[string]float64 `json:"power_w,omitempty"`
+}
+
+// NodePower returns the live view of one node.
+func (s *Server) NodePower(name string) (NodePower, bool) {
+	s.nodesMu.RLock()
+	st, ok := s.nodes[name]
+	s.nodesMu.RUnlock()
+	if !ok {
+		return NodePower{}, false
+	}
+	now := time.Now()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	np := NodePower{
+		Node:              name,
+		Samples:           st.samples,
+		NonFinite:         st.nonfinite,
+		LastTargetSeconds: st.lastT,
+	}
+	if !st.lastWall.IsZero() {
+		np.AgeSeconds = now.Sub(st.lastWall).Seconds()
+	}
+	np.Stale = st.lastWall.IsZero() || now.Sub(st.lastWall) > s.cfg.StaleAfter
+	if st.hasGood {
+		np.Power = readingMap(st.last)
+	}
+	return np, true
+}
+
+// FleetPower is the cross-node aggregate.
+type FleetPower struct {
+	Nodes int `json:"nodes"`
+	// Stale nodes are tracked but too old to contribute to Power.
+	Stale int `json:"stale"`
+	// Degraded means the aggregate is not the whole truth right now:
+	// admission is shedding, nodes have gone stale, or estimates are
+	// coming back non-finite.
+	Degraded         bool   `json:"degraded"`
+	SheddingActive   bool   `json:"shedding_active"`
+	QueueDepth       int    `json:"queue_depth"`
+	QueueCapacity    int    `json:"queue_capacity"`
+	SamplesIngested  uint64 `json:"samples_ingested"`
+	SamplesEstimated uint64 `json:"samples_estimated"`
+	SamplesShed      uint64 `json:"samples_shed"`
+	NonFinite        uint64 `json:"nonfinite_estimates"`
+	// Power sums the last good reading of every fresh node, per rail
+	// plus "Total", in Watts.
+	Power map[string]float64 `json:"power_w"`
+}
+
+// Fleet aggregates every fresh node's last good reading.
+func (s *Server) Fleet() FleetPower {
+	now := time.Now()
+	s.nodesMu.RLock()
+	states := make(map[string]*nodeState, len(s.nodes))
+	for k, v := range s.nodes {
+		states[k] = v
+	}
+	s.nodesMu.RUnlock()
+	var sum power.Reading
+	fp := FleetPower{
+		Nodes:            len(states),
+		SheddingActive:   s.SheddingActive(),
+		QueueDepth:       s.queue.depth(),
+		QueueCapacity:    s.queue.capacity(),
+		SamplesIngested:  s.ingested.Load(),
+		SamplesEstimated: s.estimated.Load(),
+		SamplesShed:      s.shed.Load(),
+		NonFinite:        s.nonfinite.Load(),
+	}
+	for _, st := range states {
+		st.mu.Lock()
+		fresh := !st.lastWall.IsZero() && now.Sub(st.lastWall) <= s.cfg.StaleAfter
+		if fresh && st.hasGood {
+			for i := range sum {
+				sum[i] += st.last[i]
+			}
+		} else {
+			fp.Stale++
+		}
+		st.mu.Unlock()
+	}
+	fp.Degraded = fp.SheddingActive || fp.Stale > 0 || fp.NonFinite > 0
+	fp.Power = readingMap(sum)
+	return fp
+}
+
+// readingMap renders a reading as rail-name → Watts plus "Total".
+func readingMap(r power.Reading) map[string]float64 {
+	out := make(map[string]float64, power.NumSubsystems+1)
+	for _, sub := range power.Subsystems() {
+		out[sub.String()] = r[sub]
+	}
+	out["Total"] = r.Total()
+	return out
+}
+
+// LatencySummary is one histogram's quantile view in milliseconds. A
+// quantile of -1 means the rank landed past the largest finite bucket
+// (saturated); Overflow carries that mass explicitly.
+type LatencySummary struct {
+	Count    uint64  `json:"count"`
+	P50ms    float64 `json:"p50_ms"`
+	P95ms    float64 `json:"p95_ms"`
+	P99ms    float64 `json:"p99_ms"`
+	MeanMs   float64 `json:"mean_ms"`
+	Overflow uint64  `json:"overflow"`
+}
+
+// summarize converts a histogram to a JSON-safe summary (+Inf → -1).
+func summarize(h *telemetry.Histogram) LatencySummary {
+	ms := func(q float64) float64 {
+		v := h.Quantile(q) * 1e3
+		if v != v || v > 1e308 {
+			return -1
+		}
+		return v
+	}
+	ls := LatencySummary{
+		Count:    h.Count(),
+		P50ms:    ms(0.50),
+		P95ms:    ms(0.95),
+		P99ms:    ms(0.99),
+		Overflow: h.Overflow(),
+	}
+	if ls.Count > 0 {
+		ls.MeanMs = h.Sum() / float64(ls.Count) * 1e3
+	}
+	return ls
+}
+
+// Stats is the machine-readable service summary behind /statz — the
+// numbers the load generator records into BENCH_<date>.json. Latency
+// summaries come from the process-wide serve histograms.
+type Stats struct {
+	SamplesIngested  uint64         `json:"samples_ingested"`
+	SamplesEstimated uint64         `json:"samples_estimated"`
+	SamplesShed      uint64         `json:"samples_shed"`
+	NonFinite        uint64         `json:"nonfinite_estimates"`
+	EstimatePanics   uint64         `json:"estimate_panics"`
+	Nodes            int            `json:"nodes"`
+	QueueDepth       int            `json:"queue_depth"`
+	QueueCapacity    int            `json:"queue_capacity"`
+	SheddingActive   bool           `json:"shedding_active"`
+	Admission        LatencySummary `json:"admission"`
+	QueueWait        LatencySummary `json:"queue_wait"`
+	Service          LatencySummary `json:"service"`
+	E2E              LatencySummary `json:"e2e"`
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	s.nodesMu.RLock()
+	nodes := len(s.nodes)
+	s.nodesMu.RUnlock()
+	return Stats{
+		SamplesIngested:  s.ingested.Load(),
+		SamplesEstimated: s.estimated.Load(),
+		SamplesShed:      s.shed.Load(),
+		NonFinite:        s.nonfinite.Load(),
+		EstimatePanics:   s.panics.Load(),
+		Nodes:            nodes,
+		QueueDepth:       s.queue.depth(),
+		QueueCapacity:    s.queue.capacity(),
+		SheddingActive:   s.SheddingActive(),
+		Admission:        summarize(mAdmission),
+		QueueWait:        summarize(mQueueWait),
+		Service:          summarize(mService),
+		E2E:              summarize(mE2E),
+	}
+}

@@ -19,10 +19,11 @@ var DefBuckets = []float64{
 // holds the target rank.
 type Histogram struct {
 	desc
-	bounds []float64       // upper bounds, ascending; +Inf implicit
-	counts []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
-	sum    atomic.Uint64   // float64 bits
-	count  atomic.Uint64
+	bounds    []float64       // upper bounds, ascending; +Inf implicit
+	counts    []atomic.Uint64 // len(bounds)+1; last is the overflow bucket
+	sum       atomic.Uint64   // float64 bits
+	count     atomic.Uint64
+	nonfinite atomic.Uint64 // NaN/±Inf observations dropped, never bucketed
 }
 
 func newHistogram(name, help string, bounds []float64) *Histogram {
@@ -54,8 +55,15 @@ func NewHistogram(name, help string, bounds []float64) *Histogram {
 	return defaultRegistry.NewHistogram(name, help, bounds)
 }
 
-// Observe records one value.
+// Observe records one value. Non-finite values (NaN, ±Inf) are counted
+// in NonFinite and otherwise dropped: `v > bounds[i]` is false for NaN,
+// which would silently file it in the first bucket, and a single NaN
+// added to sum would poison the running mean forever.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonfinite.Add(1)
+		return
+	}
 	// Bucket lists are short (≤ ~12); a linear scan beats binary search
 	// at this size and keeps the code branch-predictable.
 	i := 0
@@ -70,13 +78,24 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }
 
+// NonFinite returns the number of NaN/±Inf observations dropped.
+func (h *Histogram) NonFinite() uint64 { return h.nonfinite.Load() }
+
+// Overflow returns the number of observations above the largest finite
+// bound — the saturation mass Quantile refuses to disguise as a finite
+// latency.
+func (h *Histogram) Overflow() uint64 { return h.counts[len(h.bounds)].Load() }
+
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
 // Quantile estimates the p-quantile (0 < p < 1) from the bucket counts,
 // interpolating linearly within the holding bucket. It returns 0 with no
-// observations. Values in the overflow bucket report the largest finite
-// bound.
+// observations. When the rank lands in the overflow bucket it returns
+// +Inf: there is no finite upper bound to interpolate toward, and
+// reporting the largest finite bound would make a saturated p99 under
+// overload read as healthy — exactly when shedding logic needs the
+// truth.
 func (h *Histogram) Quantile(p float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -92,14 +111,17 @@ func (h *Histogram) Quantile(p float64) float64 {
 				lo = h.bounds[i-1]
 			}
 			if i == len(h.bounds) {
-				// Overflow bucket: no finite upper bound to
-				// interpolate toward.
-				return h.bounds[len(h.bounds)-1]
+				return math.Inf(1)
 			}
 			hi := h.bounds[i]
 			return lo + (hi-lo)*(rank-cum)/c
 		}
 		cum += c
+	}
+	if h.counts[len(h.bounds)].Load() > 0 {
+		// Float rounding walked the cursor past every bucket while mass
+		// sits in overflow; saturation still must not read as finite.
+		return math.Inf(1)
 	}
 	return h.bounds[len(h.bounds)-1]
 }
@@ -112,6 +134,8 @@ func (h *Histogram) samples(points map[string]float64) {
 	points[h.metricName+"_p50"] = h.Quantile(0.50)
 	points[h.metricName+"_p95"] = h.Quantile(0.95)
 	points[h.metricName+"_p99"] = h.Quantile(0.99)
+	points[h.metricName+"_overflow"] = float64(h.Overflow())
+	points[h.metricName+"_nonfinite"] = float64(h.NonFinite())
 }
 
 func (h *Histogram) expose(w writer) {
@@ -132,10 +156,14 @@ func (h *Histogram) exposeSeries(w writer, extraLabel string) {
 	if extraLabel == "" {
 		fmt.Fprintf(w, "%s_sum %g\n", h.metricName, h.Sum())
 		fmt.Fprintf(w, "%s_count %d\n", h.metricName, h.Count())
+		fmt.Fprintf(w, "%s_overflow %d\n", h.metricName, h.Overflow())
+		fmt.Fprintf(w, "%s_nonfinite %d\n", h.metricName, h.NonFinite())
 	} else {
 		braced := "{" + extraLabel[:len(extraLabel)-1] + "}"
 		fmt.Fprintf(w, "%s_sum%s %g\n", h.metricName, braced, h.Sum())
 		fmt.Fprintf(w, "%s_count%s %d\n", h.metricName, braced, h.Count())
+		fmt.Fprintf(w, "%s_overflow%s %d\n", h.metricName, braced, h.Overflow())
+		fmt.Fprintf(w, "%s_nonfinite%s %d\n", h.metricName, braced, h.NonFinite())
 	}
 }
 
@@ -278,6 +306,8 @@ func (v *HistogramVec) samples(points map[string]float64) {
 		points[base+"_p50"] = h.Quantile(0.50)
 		points[base+"_p95"] = h.Quantile(0.95)
 		points[base+"_p99"] = h.Quantile(0.99)
+		points[base+"_overflow"] = float64(h.Overflow())
+		points[base+"_nonfinite"] = float64(h.NonFinite())
 	}
 }
 

@@ -87,15 +87,81 @@ func TestHistogramQuantiles(t *testing.T) {
 	if p50 <= 0.01 || p50 > 0.1 {
 		t.Errorf("p50 = %g, want within (0.01, 0.1]", p50)
 	}
-	// Overflow bucket reports the largest finite bound.
+	// A rank landing in the overflow bucket must not be disguised as
+	// the largest finite bound: saturation reads as +Inf.
 	h.Observe(1e6)
-	if q := h.Quantile(0.9999); q != 10 {
-		t.Errorf("overflow quantile = %g, want 10", q)
+	if q := h.Quantile(0.9999); !math.IsInf(q, 1) {
+		t.Errorf("overflow quantile = %g, want +Inf", q)
+	}
+	if h.Overflow() != 1 {
+		t.Errorf("overflow count = %d, want 1", h.Overflow())
 	}
 	// Empty histogram.
 	e := r.NewHistogram("e_seconds", "x", nil)
 	if q := e.Quantile(0.5); q != 0 {
 		t.Errorf("empty quantile = %g, want 0", q)
+	}
+}
+
+// TestHistogramNonFiniteObservations is the regression test for the NaN
+// poisoning bug: `v > bounds[i]` is false for NaN, so a NaN observation
+// used to land in the first bucket and turn _sum (and every derived
+// mean) into NaN forever. Non-finite values must go to a dedicated
+// counter and leave count/sum/buckets untouched.
+func TestHistogramNonFiniteObservations(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("nf_seconds", "x", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(2)
+	if h.Count() != 2 {
+		t.Errorf("count = %d, want 2 (non-finite must not count)", h.Count())
+	}
+	if h.NonFinite() != 3 {
+		t.Errorf("nonfinite = %d, want 3", h.NonFinite())
+	}
+	if got := h.Sum(); math.IsNaN(got) || got != 2.5 {
+		t.Errorf("sum = %g, want 2.5 (NaN must not poison the sum)", got)
+	}
+	if got := h.counts[0].Load(); got != 1 {
+		t.Errorf("first bucket = %d, want 1 (NaN must not be bucketed)", got)
+	}
+	if q := h.Quantile(0.5); math.IsNaN(q) {
+		t.Errorf("quantile = NaN after non-finite observations")
+	}
+	snap := r.Snapshot()
+	if snap["nf_seconds_nonfinite"] != 3 {
+		t.Errorf("snapshot nonfinite = %g, want 3", snap["nf_seconds_nonfinite"])
+	}
+}
+
+// TestHistogramOverflowExposed checks the saturation mass is visible to
+// scrapers: samples() carries _overflow, and the Prometheus text carries
+// explicit _overflow/_nonfinite lines next to _sum/_count.
+func TestHistogramOverflowExposed(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("ov_seconds", "x", []float64{1})
+	h.Observe(0.5)
+	h.Observe(100)
+	h.Observe(200)
+	h.Observe(math.NaN())
+	snap := r.Snapshot()
+	if snap["ov_seconds_overflow"] != 2 {
+		t.Errorf("snapshot overflow = %g, want 2", snap["ov_seconds_overflow"])
+	}
+	if !math.IsInf(snap["ov_seconds_p99"], 1) {
+		t.Errorf("saturated p99 = %g, want +Inf", snap["ov_seconds_p99"])
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ov_seconds_overflow 2", "ov_seconds_nonfinite 1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, buf.String())
+		}
 	}
 }
 
