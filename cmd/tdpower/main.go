@@ -37,6 +37,7 @@ import (
 	"trickledown/internal/power"
 	"trickledown/internal/stats"
 	"trickledown/internal/telemetry"
+	"trickledown/internal/tracez"
 	"trickledown/internal/workload"
 
 	// Linked for its metric registrations only: /metrics always exposes
@@ -67,12 +68,12 @@ func main() {
 
 	logger := telemetry.SetupLogger(*verbose)
 	if *metricsAddr != "" {
-		addr, err := telemetry.Serve(*metricsAddr)
+		obs, err := telemetry.Serve(*metricsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		logger.Info("telemetry listening", "addr", addr.String(),
-			"metrics", fmt.Sprintf("http://%s/metrics", addr))
+		logger.Info("telemetry listening", "addr", obs.Addr().String(),
+			"metrics", fmt.Sprintf("http://%s/metrics", obs.Addr()))
 	}
 	if *verbose {
 		defer telemetry.StartProgress(logger, 2*time.Second)()
@@ -142,6 +143,15 @@ func main() {
 				log.Fatal(err)
 			}
 			logger.Info("data quality", "degraded", quality.Degraded(), "summary", quality.String())
+			// The chaos drill's inspectable artifact: what the process
+			// recorder captured (training cells plus any errored runs).
+			ts := tracez.Default().Stats()
+			logger.Info("traces", "started", ts.Started, "finished", ts.Finished,
+				"anomalies", ts.Anomalies)
+			for _, tr := range tracez.Default().Snapshot().Errored {
+				logger.Info("errored trace", "id", tr.ID, "node", tr.Node,
+					"outcome", tr.Outcome, "e2e_ms", tr.E2EMs)
+			}
 		} else if ds, err = srv.Dataset(); err != nil {
 			log.Fatal(err)
 		}

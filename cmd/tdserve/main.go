@@ -11,12 +11,19 @@
 //	tdserve [-addr :8080] [-models models.json] [-train-scale 0.05]
 //	        [-queue 256] [-batch 8192] [-workers N]
 //	        [-rate 0] [-burst 0] [-retry-after 1s] [-stale-after 15s]
+//	        [-trace-sample 0.01] [-trace-ring 256] [-slow-trace 50ms]
+//	        [-diag-dir DIR] [-metrics-addr ADDR]
 //	        [-save-models models.json] [-v]
 //
-// Endpoints: POST /ingest (perfctr TDS1 wire batches), GET /power?node=,
-// GET /fleet, GET /statz, GET /healthz, and /metrics + /debug/pprof via
-// the telemetry registry. SIGINT/SIGTERM trigger a graceful shutdown:
-// intake closes, queued batches drain, then the process exits.
+// Endpoints: POST /ingest (perfctr TDS1 wire batches, with optional
+// TDX1 trace context), GET /power?node=, GET /fleet, GET /statz,
+// GET /healthz, GET /debug/tracez (sampled + anomaly traces), and
+// /metrics + /debug/pprof via the telemetry registry. -metrics-addr
+// serves the observability mux on a second listener that drains with
+// the service. SIGINT/SIGTERM trigger a graceful shutdown: intake
+// closes, queued batches drain, then the process exits. SIGQUIT dumps
+// a diagnostics bundle (traces, flight ring, metrics, goroutines) to
+// -diag-dir and keeps running.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"trickledown/internal/core"
 	"trickledown/internal/experiments"
 	"trickledown/internal/serve"
+	"trickledown/internal/telemetry"
 )
 
 func main() {
@@ -51,6 +59,11 @@ func main() {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After advertised on 429 responses")
 	staleAfter := flag.Duration("stale-after", 15*time.Second, "node staleness horizon for the fleet aggregate")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain the queue on shutdown")
+	traceSample := flag.Float64("trace-sample", 0.01, "head-based trace sampling rate in [0,1] for batches without a producer-stamped context")
+	traceRing := flag.Int("trace-ring", 256, "traces retained per /debug/tracez view")
+	slowTrace := flag.Duration("slow-trace", 50*time.Millisecond, "e2e latency past which a batch is always kept as a slow-outlier trace (negative = off)")
+	diagDir := flag.String("diag-dir", "", "write diagnostics bundles here on shedding/quarantine transitions and SIGQUIT (empty = off)")
+	metricsAddr := flag.String("metrics-addr", "", "serve the observability mux on a second listener (empty = off; /metrics is also on -addr)")
 	verbose := flag.Bool("v", false, "log per-signal detail")
 	flag.Parse()
 
@@ -60,19 +73,31 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		Estimator:     est,
-		QueueDepth:    *queue,
-		MaxBatch:      *batch,
-		Workers:       *workers,
-		RatePerClient: *rate,
-		Burst:         *burst,
-		RetryAfter:    *retryAfter,
-		StaleAfter:    *staleAfter,
+		Estimator:       est,
+		QueueDepth:      *queue,
+		MaxBatch:        *batch,
+		Workers:         *workers,
+		RatePerClient:   *rate,
+		Burst:           *burst,
+		RetryAfter:      *retryAfter,
+		StaleAfter:      *staleAfter,
+		TraceSampleRate: *traceSample,
+		TraceRing:       *traceRing,
+		SlowTrace:       *slowTrace,
+		DiagDir:         *diagDir,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	srv.Start()
+
+	var obs *telemetry.ObsServer
+	if *metricsAddr != "" {
+		if obs, err = telemetry.Serve(*metricsAddr); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("observability listening addr=%s", obs.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -88,13 +113,25 @@ func main() {
 		ln.Addr(), *queue, *batch, *workers, *rate)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	got := <-sig
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	var got os.Signal
+	for got = <-sig; got == syscall.SIGQUIT; got = <-sig {
+		// SIGQUIT is the operator's "show me what's happening":
+		// dump a diagnostics bundle and keep serving.
+		if dir, err := srv.DumpDiagnostics(*diagDir, "sigquit"); err != nil {
+			log.Printf("SIGQUIT diagnostics dump failed: %v", err)
+		} else {
+			log.Printf("SIGQUIT diagnostics bundle: %s", dir)
+		}
+	}
 	log.Printf("signal %s: draining (timeout %s)", got, *drainTimeout)
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	_ = httpSrv.Shutdown(ctx)
+	if obs != nil {
+		_ = obs.Shutdown(ctx)
+	}
 	if err := srv.Close(ctx); err != nil {
 		log.Printf("drain incomplete: %v", err)
 	}

@@ -37,12 +37,12 @@ func main() {
 
 	logger := telemetry.SetupLogger(*verbose)
 	if *metricsAddr != "" {
-		addr, err := telemetry.Serve(*metricsAddr)
+		obs, err := telemetry.Serve(*metricsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		logger.Info("telemetry listening", "addr", addr.String(),
-			"metrics", fmt.Sprintf("http://%s/metrics", addr))
+		logger.Info("telemetry listening", "addr", obs.Addr().String(),
+			"metrics", fmt.Sprintf("http://%s/metrics", obs.Addr()))
 	}
 	if *verbose {
 		defer telemetry.StartProgress(logger, 2*time.Second)()

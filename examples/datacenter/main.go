@@ -43,11 +43,11 @@ func main() {
 	flag.Parse()
 	logger := telemetry.SetupLogger(*verbose)
 	if *metricsAddr != "" {
-		addr, err := telemetry.Serve(*metricsAddr)
+		obs, err := telemetry.Serve(*metricsAddr)
 		if err != nil {
 			log.Fatal(err)
 		}
-		logger.Info("telemetry listening", "addr", addr.String())
+		logger.Info("telemetry listening", "addr", obs.Addr().String())
 	}
 	if *verbose {
 		defer telemetry.StartProgress(logger, 2*time.Second)()

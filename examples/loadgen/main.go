@@ -37,6 +37,7 @@ import (
 	"trickledown/internal/experiments"
 	"trickledown/internal/perfctr"
 	"trickledown/internal/serve"
+	"trickledown/internal/tracez"
 )
 
 func main() {
@@ -52,6 +53,7 @@ func main() {
 	trainScale := flag.Float64("train-scale", 0.02, "training scale when self-hosting")
 	queue := flag.Int("queue", 256, "self-hosted ingest queue depth")
 	benchOut := flag.String("bench-out", "", "merge results into this benchjson file (created if missing)")
+	traceSample := flag.Float64("trace-sample", 0.01, "client-side head sampling rate for stamped trace contexts (0 = unstamped)")
 	flag.Parse()
 
 	target := *addr
@@ -69,7 +71,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := drive(base, *duration, *clients, *batch, *nodes, *cpus, *rate)
+	res, err := drive(base, *duration, *clients, *batch, *nodes, *cpus, *rate, *traceSample)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -128,15 +130,22 @@ type results struct {
 	ClientP95ms   float64
 	ClientP99ms   float64
 	Stats         serve.Stats // server /statz snapshot after the run
+	// SlowTraces are the server's slowest end-to-end traces after the
+	// run — the request-level view behind the p99 number.
+	SlowTraces []tracez.TraceJSON
 }
 
 // drive runs the producer fleet against base for d and collects both
 // sides of the story.
-func drive(base string, d time.Duration, clients, batchN, nodes, cpus int, rate float64) (*results, error) {
+func drive(base string, d time.Duration, clients, batchN, nodes, cpus int, rate, traceSample float64) (*results, error) {
 	before, err := fetchStats(base)
 	if err != nil {
 		return nil, fmt.Errorf("statz before: %w", err)
 	}
+	// Client-minted trace contexts: the sampling decision is a pure
+	// function of (ID, rate), so the server agrees on which batches are
+	// recorded without any negotiation.
+	sampler := tracez.NewRecorder(tracez.Config{SampleRate: traceSample})
 
 	var (
 		wg       sync.WaitGroup
@@ -169,7 +178,12 @@ func drive(base string, d time.Duration, clients, batchN, nodes, cpus int, rate 
 				}
 				node := fmt.Sprintf("node-%02d", (c*7+seq)%nodes)
 				samples := synthBatch(batchN, cpus, float64(seq*batchN), c)
-				buf, err = perfctr.EncodeBatch(buf[:0], node, samples)
+				var ext perfctr.TraceExt
+				if traceSample > 0 {
+					tc := sampler.Mint()
+					ext = perfctr.TraceExt{ID: [16]byte(tc.ID), Sampled: tc.Sampled}
+				}
+				buf, err = perfctr.EncodeBatchExt(buf[:0], node, samples, ext)
 				if err != nil {
 					log.Fatalf("encode: %v", err)
 				}
@@ -211,6 +225,13 @@ func drive(base string, d time.Duration, clients, batchN, nodes, cpus int, rate 
 		return nil, fmt.Errorf("statz after: %w", err)
 	}
 	res.Stats = after
+	if traceSample > 0 {
+		if slow, err := fetchSlowTraces(base, 5); err != nil {
+			log.Printf("tracez fetch failed (continuing): %v", err)
+		} else {
+			res.SlowTraces = slow
+		}
+	}
 	res.Duration = elapsed
 	res.SamplesPerSec = float64(after.SamplesEstimated-before.SamplesEstimated) / elapsed.Seconds()
 	sort.Float64s(lats)
@@ -264,6 +285,29 @@ func fetchStats(base string) (serve.Stats, error) {
 	return st, json.NewDecoder(resp.Body).Decode(&st)
 }
 
+// fetchSlowTraces pulls the server's slowest-by-e2e traces from
+// /debug/tracez and returns the top n, slowest first.
+func fetchSlowTraces(base string, n int) ([]tracez.TraceJSON, error) {
+	resp, err := http.Get(base + "/debug/tracez?view=slow&format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/debug/tracez: status %d", resp.StatusCode)
+	}
+	var snap tracez.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	slow := snap.Slowest["e2e"]
+	sort.Slice(slow, func(i, j int) bool { return slow[i].E2EMs > slow[j].E2EMs })
+	if len(slow) > n {
+		slow = slow[:n]
+	}
+	return slow, nil
+}
+
 func waitHealthy(base string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -307,6 +351,18 @@ func report(r *results) {
 		st.QueueWait.P50ms, st.QueueWait.P95ms, st.QueueWait.P99ms)
 	fmt.Printf("server totals   ingested=%d estimated=%d shed=%d nonfinite=%d nodes=%d shedding=%v\n",
 		st.SamplesIngested, st.SamplesEstimated, st.SamplesShed, st.NonFinite, st.Nodes, st.SheddingActive)
+	if len(r.SlowTraces) > 0 {
+		fmt.Printf("slowest server-observed traces (e2e):\n")
+		for i, tr := range r.SlowTraces {
+			fmt.Printf("  %d. %s  node=%s  %s\n", i+1, tr.ID, tr.Node, traceBreakdown(tr))
+		}
+	}
+}
+
+// traceBreakdown renders one trace's per-stage latency split.
+func traceBreakdown(tr tracez.TraceJSON) string {
+	return fmt.Sprintf("admission %.3fms  queue %.3fms  service %.3fms  e2e %.3fms  outcome=%s",
+		tr.AdmissionMs, tr.QueueMs, tr.ServiceMs, tr.E2EMs, tr.Outcome)
 }
 
 // mergeBench folds the run into a benchjson record, preserving every
@@ -337,6 +393,13 @@ func mergeBench(path string, r *results) error {
 			"server_service_p99_ms": r.Stats.Service.P99ms,
 			"shed_samples":          float64(r.Stats.SamplesShed),
 		},
+	}
+	for i, tr := range r.SlowTraces {
+		if entry.Notes == nil {
+			entry.Notes = make(map[string]string)
+		}
+		entry.Notes[fmt.Sprintf("slow_trace_%d", i+1)] =
+			fmt.Sprintf("%s %s", tr.ID, traceBreakdown(tr))
 	}
 	replaced := false
 	for i := range rec.Benchmarks {

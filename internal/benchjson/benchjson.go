@@ -32,6 +32,11 @@ type Benchmark struct {
 	// error percentages and reference Watts the suite reports — keyed by
 	// unit name (e.g. "cpu_err%", "gcc_total_W").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Notes carries non-numeric annotations a run wants preserved next
+	// to its metrics — loadgen files the slowest server-observed trace
+	// IDs here so a latency regression in the record links straight to
+	// its /debug/tracez stage breakdown.
+	Notes map[string]string `json:"notes,omitempty"`
 }
 
 // Result is one complete benchmark run.

@@ -54,6 +54,7 @@ import (
 	"trickledown/internal/pool"
 	"trickledown/internal/stats"
 	"trickledown/internal/telemetry"
+	"trickledown/internal/tracez"
 	"trickledown/internal/workload"
 )
 
@@ -263,6 +264,13 @@ func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 	nodes := append([]*Node(nil), c.nodes...)
 	p, retry := c.p, c.retry
 	c.mu.Unlock()
+	// Cluster runs are low-volume (one per simulated interval), so every
+	// run gets a trace on the process recorder unconditionally: chaos
+	// drills read the quarantine timeline from /debug/tracez instead of
+	// correlating log lines.
+	rec := tracez.Default()
+	tr := rec.StartAt(tracez.NewTraceID(), "cluster", "", time.Now())
+	tr.Add(tracez.EvAdmitted, int64(len(nodes)))
 	// final[i] is node i's last-attempt error; slots are written by the
 	// stepping worker and read only after the pool drains.
 	final := make([]error, len(nodes))
@@ -275,6 +283,8 @@ func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 	})
 	if ctx.Err() != nil {
 		// Cancellation is not a node fault: report it, quarantine nothing.
+		tr.Outcome = "cancelled"
+		rec.Finish(tr)
 		return poolErr
 	}
 	var failures []error
@@ -283,8 +293,14 @@ func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 			continue
 		}
 		nodes[i].quarantine(err)
+		tr.AddNote(tracez.EvQuarantine, int64(i), nodes[i].Name)
 		failures = append(failures, fmt.Errorf("cluster: node %s: %w: %w", nodes[i].Name, ErrNodeFailed, err))
 	}
+	if len(failures) > 0 {
+		tr.Outcome = "quarantine"
+	}
+	tr.Add(tracez.EvDeparted, int64(len(nodes)-len(failures)))
+	rec.Finish(tr)
 	return errors.Join(failures...)
 }
 

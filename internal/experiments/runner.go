@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"trickledown/internal/align"
 	"trickledown/internal/core"
@@ -22,6 +23,7 @@ import (
 	"trickledown/internal/pool"
 	"trickledown/internal/power"
 	"trickledown/internal/telemetry"
+	"trickledown/internal/tracez"
 	"trickledown/internal/workload"
 )
 
@@ -176,6 +178,19 @@ func (r *Runner) datasetSpec(spec workload.Spec, seconds float64, seed uint64) (
 	}
 	e.once.Do(func() {
 		defer telemetry.StartSpan("experiments.simulate").End()
+		// Each simulated cell is one trace on the process recorder:
+		// a failed workload shows up in /debug/tracez errored with its
+		// cache key, not just as a counter increment.
+		rec := tracez.Default()
+		tr := rec.StartAt(tracez.NewTraceID(), spec.Name, "experiments", time.Now())
+		tr.AddNote(tracez.EvNote, int64(seconds), key)
+		defer func() {
+			if e.err != nil {
+				tr.Outcome = "error"
+				tr.AddNote(tracez.EvQuarantine, 0, e.err.Error())
+			}
+			rec.Finish(tr)
+		}()
 		cfg := machine.DefaultConfig()
 		cfg.Seed = seed
 		srv, err := machine.New(cfg, spec)

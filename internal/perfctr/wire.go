@@ -28,6 +28,31 @@ import (
 // wireMagic identifies (and versions) a sample batch.
 var wireMagic = [4]byte{'T', 'D', 'S', '1'}
 
+// extMagic introduces the optional trailing trace-context extension
+// block. Old decoders reject it as trailing garbage (they predate
+// tracing and talk to same-version peers); new decoders accept batches
+// with or without it, so producers can roll out trace stamping before
+// every server upgrades.
+var extMagic = [4]byte{'T', 'D', 'X', '1'}
+
+// extLen is the fixed extension size: magic | u8 flags | 16-byte ID.
+const extLen = 4 + 1 + 16
+
+// extFlagSampled marks the batch as head-sampled at the producer: the
+// server records a full event timeline for it.
+const extFlagSampled = 0x01
+
+// TraceExt is the optional per-batch trace context carried after the
+// samples. The producer mints the 128-bit ID and decides sampling so
+// trace identity is stable across the client/server boundary.
+type TraceExt struct {
+	ID      [16]byte
+	Sampled bool
+}
+
+// IsZero reports whether the extension carries no trace ID.
+func (e TraceExt) IsZero() bool { return e.ID == [16]byte{} }
+
 // Decoder guard rails. Real machines top out far below these; anything
 // larger is a corrupt or hostile length prefix.
 const (
@@ -60,6 +85,28 @@ func EncodeBatch(buf []byte, node string, samples []Sample) ([]byte, error) {
 			return nil, fmt.Errorf("perfctr: sample %d: %w", i, err)
 		}
 	}
+	return buf, nil
+}
+
+// EncodeBatchExt encodes like EncodeBatch and, when ext carries a
+// non-zero trace ID, appends the TDX1 trace-context extension. A zero
+// ext produces output byte-identical to EncodeBatch, so callers can
+// thread the extension unconditionally.
+func EncodeBatchExt(buf []byte, node string, samples []Sample, ext TraceExt) ([]byte, error) {
+	buf, err := EncodeBatch(buf, node, samples)
+	if err != nil {
+		return nil, err
+	}
+	if ext.IsZero() {
+		return buf, nil
+	}
+	buf = append(buf, extMagic[:]...)
+	var flags byte
+	if ext.Sampled {
+		flags |= extFlagSampled
+	}
+	buf = append(buf, flags)
+	buf = append(buf, ext.ID[:]...)
 	return buf, nil
 }
 
@@ -165,54 +212,74 @@ func (r *wireReader) f64() (float64, error) {
 }
 
 // DecodeBatch parses one wire batch, returning the node name and its
-// samples. Every length prefix is validated against both the wire
-// limits and the bytes actually present before allocation, and the
-// per-sample timestamps must be finite (a NaN interval would poison the
-// per-cycle normalization downstream). Trailing garbage after the last
-// sample is rejected: a length mismatch means a framing bug, not data.
+// samples. A trailing TDX1 trace-context extension is accepted and
+// discarded; callers that want it use DecodeBatchExt.
 func DecodeBatch(buf []byte) (node string, samples []Sample, err error) {
+	node, samples, _, err = DecodeBatchExt(buf)
+	return node, samples, err
+}
+
+// DecodeBatchExt parses one wire batch plus its optional TDX1
+// trace-context extension (ext is zero when absent). Every length
+// prefix is validated against both the wire limits and the bytes
+// actually present before allocation, and the per-sample timestamps
+// must be finite (a NaN interval would poison the per-cycle
+// normalization downstream). Trailing bytes that are not a well-formed
+// extension are rejected: a length mismatch means a framing bug, not
+// data.
+func DecodeBatchExt(buf []byte) (node string, samples []Sample, ext TraceExt, err error) {
 	r := &wireReader{buf: buf}
 	if err := r.need(4); err != nil {
-		return "", nil, err
+		return "", nil, TraceExt{}, err
 	}
 	if [4]byte(r.buf[:4]) != wireMagic {
-		return "", nil, fmt.Errorf("perfctr: bad wire magic %q", r.buf[:4])
+		return "", nil, TraceExt{}, fmt.Errorf("perfctr: bad wire magic %q", r.buf[:4])
 	}
 	r.off = 4
 	nodeLen, err := r.u16()
 	if err != nil {
-		return "", nil, err
+		return "", nil, TraceExt{}, err
 	}
 	if nodeLen > maxWireNode {
-		return "", nil, fmt.Errorf("perfctr: node name %d bytes exceeds wire limit %d", nodeLen, maxWireNode)
+		return "", nil, TraceExt{}, fmt.Errorf("perfctr: node name %d bytes exceeds wire limit %d", nodeLen, maxWireNode)
 	}
 	if err := r.need(nodeLen); err != nil {
-		return "", nil, err
+		return "", nil, TraceExt{}, err
 	}
 	node = string(r.buf[r.off : r.off+nodeLen])
 	r.off += nodeLen
 	count, err := r.u32()
 	if err != nil {
-		return "", nil, err
+		return "", nil, TraceExt{}, err
 	}
 	if count > maxWireSamples {
-		return "", nil, fmt.Errorf("perfctr: batch of %d samples exceeds wire limit %d", count, maxWireSamples)
+		return "", nil, TraceExt{}, fmt.Errorf("perfctr: batch of %d samples exceeds wire limit %d", count, maxWireSamples)
 	}
 	// A sample is at least 2 f64 + 4 u16 counts: cheap sanity before the
 	// count-sized allocation.
 	if err := r.need(count * 24); err != nil {
-		return "", nil, fmt.Errorf("perfctr: %d-sample batch larger than payload: %w", count, err)
+		return "", nil, TraceExt{}, fmt.Errorf("perfctr: %d-sample batch larger than payload: %w", count, err)
 	}
 	samples = make([]Sample, count)
 	for i := range samples {
 		if err := decodeSample(r, &samples[i]); err != nil {
-			return "", nil, fmt.Errorf("perfctr: sample %d: %w", i, err)
+			return "", nil, TraceExt{}, fmt.Errorf("perfctr: sample %d: %w", i, err)
 		}
 	}
-	if r.off != len(buf) {
-		return "", nil, fmt.Errorf("perfctr: %d trailing bytes after wire batch", len(buf)-r.off)
+	switch rest := len(buf) - r.off; {
+	case rest == 0:
+		// No extension: the common pre-tracing batch.
+	case rest == extLen && [4]byte(r.buf[r.off:r.off+4]) == extMagic:
+		flags := r.buf[r.off+4]
+		if flags&^extFlagSampled != 0 {
+			return "", nil, TraceExt{}, fmt.Errorf("perfctr: unknown trace extension flags %#02x", flags)
+		}
+		copy(ext.ID[:], r.buf[r.off+5:r.off+extLen])
+		ext.Sampled = flags&extFlagSampled != 0
+	default:
+		return "", nil, TraceExt{}, fmt.Errorf("perfctr: %d trailing bytes after wire batch", rest)
 	}
-	return node, samples, nil
+	return node, samples, ext, nil
 }
 
 // decodeSample parses one sample in place.

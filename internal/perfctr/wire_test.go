@@ -218,3 +218,82 @@ func BenchmarkWireDecodeBatch(b *testing.B) {
 		}
 	}
 }
+
+func TestWireTraceExtRoundTrip(t *testing.T) {
+	in := wireTestSamples()
+	ext := TraceExt{Sampled: true}
+	for i := range ext.ID {
+		ext.ID[i] = byte(i + 1)
+	}
+	buf, err := EncodeBatchExt(nil, "node07", in, ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, out, got, err := DecodeBatchExt(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != "node07" || len(out) != len(in) {
+		t.Fatalf("node=%q samples=%d, want node07/%d", node, len(out), len(in))
+	}
+	if got != ext {
+		t.Errorf("ext round-trip = %+v, want %+v", got, ext)
+	}
+
+	// The plain decoder accepts the extended batch and discards the ext.
+	if _, _, err := DecodeBatch(buf); err != nil {
+		t.Errorf("DecodeBatch on extended batch: %v", err)
+	}
+
+	// Unsampled flag round-trips too.
+	ext.Sampled = false
+	buf, err = EncodeBatchExt(nil, "n", in[:1], ext)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, got, err = DecodeBatchExt(buf); err != nil || got.Sampled || got.ID != ext.ID {
+		t.Errorf("unsampled ext = %+v err=%v", got, err)
+	}
+}
+
+func TestWireTraceExtZeroIsByteIdentical(t *testing.T) {
+	in := wireTestSamples()
+	plain, err := EncodeBatch(nil, "n", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extd, err := EncodeBatchExt(nil, "n", in, TraceExt{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, extd) {
+		t.Error("zero TraceExt changed the encoding")
+	}
+	if _, _, ext, err := DecodeBatchExt(plain); err != nil || !ext.IsZero() {
+		t.Errorf("ext on plain batch = %+v err=%v, want zero", ext, err)
+	}
+}
+
+func TestWireTraceExtRejectsMalformed(t *testing.T) {
+	in := wireTestSamples()[:1]
+	good, err := EncodeBatchExt(nil, "n", in, TraceExt{ID: [16]byte{1}, Sampled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"truncated ext":     good[:len(good)-1],
+		"oversized ext":     append(append([]byte{}, good...), 0),
+		"bad ext magic":     append([]byte{}, good...),
+		"unknown ext flags": append([]byte{}, good...),
+	}
+	cases["bad ext magic"][len(good)-extLen] = 'X'
+	cases["unknown ext flags"][len(good)-extLen+4] = 0x80
+	for name, buf := range cases {
+		if _, _, _, err := DecodeBatchExt(buf); err == nil {
+			t.Errorf("%s: decode accepted malformed extension", name)
+		}
+		if _, _, err := DecodeBatch(buf); err == nil {
+			t.Errorf("%s: plain decode accepted malformed extension", name)
+		}
+	}
+}

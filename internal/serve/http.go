@@ -10,6 +10,7 @@ import (
 
 	"trickledown/internal/perfctr"
 	"trickledown/internal/telemetry"
+	"trickledown/internal/tracez"
 )
 
 // maxBodyBytes bounds an ingest request body. Sized for a MaxBatch of
@@ -37,10 +38,12 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	// The telemetry mux owns /metrics and /debug/*; delegating the paths
-	// keeps one exposition implementation process-wide.
+	// keeps one exposition implementation process-wide. /debug/tracez is
+	// the more specific pattern, so it wins over the /debug/ delegate.
 	tm := telemetry.Handler()
 	mux.Handle("/metrics", tm)
 	mux.Handle("/debug/", tm)
+	mux.Handle("/debug/tracez", s.rec.Handler())
 	return mux
 }
 
@@ -69,7 +72,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
 		return
 	}
-	node, samples, err := perfctr.DecodeBatch(body)
+	node, samples, ext, err := perfctr.DecodeBatchExt(body)
 	if err != nil {
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
@@ -78,7 +81,13 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if client == "" {
 		client = r.RemoteAddr
 	}
-	switch err := s.Ingest(client, node, samples); {
+	// A producer-stamped trace context wins (same ID on both sides of
+	// the wire); batches without one get a server-minted identity.
+	tc := tracez.Context{ID: tracez.TraceID(ext.ID), Sampled: ext.Sampled}
+	if tc.ID.IsZero() {
+		tc = s.rec.Mint()
+	}
+	switch err := s.IngestTraced(client, node, samples, tc); {
 	case err == nil:
 		w.WriteHeader(http.StatusAccepted)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trickledown/internal/perfctr"
+	"trickledown/internal/tracez"
 )
 
 // batch is one admitted ingest request moving through the request
@@ -25,6 +26,10 @@ type batch struct {
 	samples []perfctr.Sample
 	arrived time.Time
 	queued  time.Time
+	// tc is the batch's trace identity (producer- or server-minted); tr
+	// is non-nil only when the head sampler elected to record events.
+	tc tracez.Context
+	tr *tracez.Trace
 }
 
 // errQueueClosed distinguishes shutdown from overload inside the queue;
@@ -46,14 +51,14 @@ func newIngestQueue(depth int) *ingestQueue {
 }
 
 // tryEnqueue admits b or reports why not (errQueueClosed, ErrQueueFull).
-// On success it stamps b.queued — the QUEUED event.
+// The caller stamps b.queued before the send — after it, a worker may
+// already own the batch.
 func (q *ingestQueue) tryEnqueue(b *batch) error {
 	q.mu.RLock()
 	defer q.mu.RUnlock()
 	if q.closed {
 		return errQueueClosed
 	}
-	b.queued = time.Now()
 	select {
 	case q.ch <- b:
 		return nil

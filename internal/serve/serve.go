@@ -38,6 +38,7 @@ import (
 	"trickledown/internal/power"
 	"trickledown/internal/sim"
 	"trickledown/internal/telemetry"
+	"trickledown/internal/tracez"
 )
 
 // latencyBuckets resolve the service's operating range: ingest-to-
@@ -125,6 +126,20 @@ type Config struct {
 	// is excluded from the fleet aggregate and counted stale
 	// (default 15s).
 	StaleAfter time.Duration
+	// TraceSampleRate is the head-based trace sampling probability in
+	// [0,1] applied to batches whose producer did not already carry a
+	// trace context (default 0: anomalies only).
+	TraceSampleRate float64
+	// TraceRing bounds each /debug/tracez retention view in traces
+	// (default 256).
+	TraceRing int
+	// SlowTrace promotes a batch whose end-to-end latency exceeds it to
+	// an always-kept anomaly trace (default 50ms; negative disables).
+	SlowTrace time.Duration
+	// DiagDir, when non-empty, enables the flight recorder's diagnostics
+	// bundles: entering shedding or quarantining the first non-finite
+	// estimate dumps a tddiag_* bundle under this directory.
+	DiagDir string
 }
 
 // withDefaults fills unset fields.
@@ -152,6 +167,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StaleAfter <= 0 {
 		c.StaleAfter = 15 * time.Second
+	}
+	if c.SlowTrace == 0 {
+		c.SlowTrace = 50 * time.Millisecond
+	}
+	if c.SlowTrace < 0 {
+		c.SlowTrace = 0
 	}
 	return c
 }
@@ -205,6 +226,16 @@ type Server struct {
 	started     atomic.Bool
 	shedUntil   atomic.Int64 // unix nanos; shedding active while now < shedUntil
 
+	// Tracing: the per-server recorder behind /debug/tracez, the
+	// process-wide flight recorder, and the (optional) bundler that turns
+	// degradation transitions into on-disk diagnostics bundles.
+	rec        *tracez.Recorder
+	flight     *tracez.FlightRecorder
+	bundler    *tracez.Bundler
+	shedActive atomic.Bool  // edge detector for shedding transitions
+	quarActive atomic.Bool  // edge detector for the first quarantine
+	lastBundle atomic.Value // string: newest diagnostics bundle dir
+
 	// Per-server counters mirror the process-wide telemetry so tests
 	// and multi-server processes get isolated numbers.
 	ingested  atomic.Uint64
@@ -221,9 +252,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
-		cfg:         cfg,
-		est:         cfg.Estimator,
+	s := &Server{
+		cfg: cfg,
+		est: cfg.Estimator,
+		rec: tracez.NewRecorder(tracez.Config{
+			SampleRate:    cfg.TraceSampleRate,
+			RingSize:      cfg.TraceRing,
+			SlowThreshold: cfg.SlowTrace,
+		}),
+		flight:      tracez.Flight(),
 		queue:       newIngestQueue(cfg.QueueDepth),
 		limiter:     newRateLimiter(cfg.RatePerClient, cfg.Burst),
 		p:           pool.New(cfg.Workers),
@@ -231,7 +268,53 @@ func New(cfg Config) (*Server, error) {
 		ctx:         ctx,
 		cancel:      cancel,
 		workersDone: make(chan struct{}),
-	}, nil
+	}
+	if cfg.DiagDir != "" {
+		s.bundler = tracez.NewBundler(cfg.DiagDir, s.rec, s.flight)
+	}
+	return s, nil
+}
+
+// Tracer exposes the server's trace recorder (the /debug/tracez data
+// source) for CLIs and tests.
+func (s *Server) Tracer() *tracez.Recorder { return s.rec }
+
+// DumpDiagnostics synchronously writes a diagnostics bundle (tracez
+// snapshot, flight ring, metrics, goroutines) and returns its
+// directory. It works regardless of DiagDir rate limiting — the SIGQUIT
+// path wants a bundle now, not "one recently".
+func (s *Server) DumpDiagnostics(dir, reason string) (string, error) {
+	if dir == "" {
+		dir = s.cfg.DiagDir
+	}
+	if dir == "" {
+		return "", fmt.Errorf("serve: no diagnostics directory configured")
+	}
+	bundle, err := tracez.DumpBundle(dir, reason, s.rec, s.flight)
+	if err == nil {
+		s.lastBundle.Store(bundle)
+	}
+	return bundle, err
+}
+
+// LastDiagBundle returns the newest diagnostics bundle directory, or "".
+func (s *Server) LastDiagBundle() string {
+	v, _ := s.lastBundle.Load().(string)
+	return v
+}
+
+// triggerBundle asks the bundler for a rate-limited bundle off the hot
+// path; transitions fire from admission and worker goroutines that must
+// not block on disk I/O.
+func (s *Server) triggerBundle(reason string) {
+	if s.bundler == nil {
+		return
+	}
+	go func() {
+		if dir, err := s.bundler.Trigger(reason); err == nil && dir != "" {
+			s.lastBundle.Store(dir)
+		}
+	}()
 }
 
 // Start launches the estimation workers. It must be called exactly once.
@@ -245,7 +328,7 @@ func (s *Server) Start() {
 		// immediately and holds its slot for the server's lifetime; pool
 		// telemetry and panic containment come along for free.
 		_ = s.p.Run(s.ctx, s.cfg.Workers, func(ctx context.Context, i int) error {
-			s.workerLoop(ctx)
+			s.workerLoop(ctx, i)
 			return nil
 		})
 	}()
@@ -289,8 +372,19 @@ func (s *Server) faultInjector() perfctr.FaultInjector {
 // Ingest admits a batch of one node's samples on behalf of client. It
 // returns nil when the batch is queued (ARRIVED→QUEUED), or one of
 // ErrBatchTooLarge, ErrRateLimited, ErrQueueFull, ErrClosed. The samples
-// slice is owned by the server after a nil return.
+// slice is owned by the server after a nil return. A trace context is
+// minted locally; producers that stamped their own use IngestTraced.
 func (s *Server) Ingest(client, node string, samples []perfctr.Sample) error {
+	return s.IngestTraced(client, node, samples, s.rec.Mint())
+}
+
+// IngestTraced is Ingest with an explicit trace context — the wire path,
+// where the producer minted the ID and made the sampling decision so
+// client and server views of one batch share an identity. Rejections
+// (shed, rate-limit) are recorded as always-kept anomaly traces even
+// when tc is unsampled; admitted unsampled batches record nothing and
+// allocate nothing beyond the batch itself.
+func (s *Server) IngestTraced(client, node string, samples []perfctr.Sample, tc tracez.Context) error {
 	if len(samples) == 0 {
 		return nil
 	}
@@ -298,13 +392,24 @@ func (s *Server) Ingest(client, node string, samples []perfctr.Sample) error {
 	n := uint64(len(samples))
 	if len(samples) > s.cfg.MaxBatch {
 		s.shedN("batch_too_large", n)
+		s.rec.Anomaly(tc.ID, node, client, arrived, "shed:batch_too_large", tracez.EvShed, int64(n))
 		return fmt.Errorf("%w: %d > %d", ErrBatchTooLarge, len(samples), s.cfg.MaxBatch)
 	}
 	if !s.limiter.allow(client, float64(len(samples)), arrived) {
 		s.shedN("rate_limited", n)
+		s.rec.Anomaly(tc.ID, node, client, arrived, "shed:rate_limited", tracez.EvShed, int64(n))
 		return ErrRateLimited
 	}
-	b := &batch{node: node, samples: samples, arrived: arrived}
+	b := &batch{node: node, samples: samples, arrived: arrived, tc: tc}
+	if tr := s.rec.Start(tc, node, client, arrived); tr != nil {
+		tr.Add(tracez.EvAdmitted, int64(n))
+		b.tr = tr
+	}
+	// Stamp QUEUED before the channel send: the moment the batch is on
+	// the queue a worker owns the trace, so no event may be added here
+	// afterwards. The depth arg is the backlog ahead of this batch.
+	b.queued = time.Now()
+	b.tr.AddAt(tracez.EvEnqueued, b.queued, int64(s.queue.depth()), "")
 	if err := s.queue.tryEnqueue(b); err != nil {
 		if errors.Is(err, errQueueClosed) {
 			s.shedN("closed", n)
@@ -312,6 +417,7 @@ func (s *Server) Ingest(client, node string, samples []perfctr.Sample) error {
 		}
 		s.markShedding()
 		s.shedN("queue_full", n)
+		s.rec.Anomaly(tc.ID, node, client, arrived, "shed:queue_full", tracez.EvShed, int64(n))
 		return ErrQueueFull
 	}
 	mQueueDepth.Set(float64(s.queue.depth()))
@@ -327,10 +433,18 @@ func (s *Server) shedN(reason string, n uint64) {
 	s.shed.Add(n)
 }
 
-// markShedding opens (or extends) the shedding window.
+// markShedding opens (or extends) the shedding window. The transition
+// into shedding (not every rejection) lands in the flight recorder and,
+// when a DiagDir is configured, triggers a diagnostics bundle — the
+// moment the service starts refusing work is exactly when an operator
+// wants the queue depths and traces that led up to it.
 func (s *Server) markShedding() {
 	s.shedUntil.Store(time.Now().Add(shedHold).UnixNano())
 	mShedding.Set(1)
+	if s.shedActive.CompareAndSwap(false, true) {
+		s.flight.Note("shedding", "queue full; admission shedding", int64(s.queue.depth()))
+		s.triggerBundle("shedding")
+	}
 }
 
 // SheddingActive reports whether the server rejected work for queue-full
@@ -339,13 +453,16 @@ func (s *Server) SheddingActive() bool {
 	active := time.Now().UnixNano() < s.shedUntil.Load()
 	if !active {
 		mShedding.Set(0)
+		if s.shedActive.CompareAndSwap(true, false) {
+			s.flight.Note("shedding", "shedding cleared", 0)
+		}
 	}
 	return active
 }
 
 // workerLoop drains the queue until it closes (graceful Close) or ctx
 // fires (hard cancel, abandoning queued batches).
-func (s *Server) workerLoop(ctx context.Context) {
+func (s *Server) workerLoop(ctx context.Context, worker int) {
 	scratch := &core.Metrics{}
 	for {
 		// Priority check: when a hard cancel and queued work are both
@@ -362,7 +479,7 @@ func (s *Server) workerLoop(ctx context.Context) {
 				return
 			}
 			mQueueDepth.Set(float64(s.queue.depth()))
-			s.runBatch(ctx, b, scratch)
+			s.runBatch(ctx, b, scratch, worker)
 		}
 	}
 }
@@ -371,13 +488,13 @@ func (s *Server) workerLoop(ctx context.Context) {
 // estimation attempt (poisoned model, hostile sample) is recovered,
 // counted, and retried with overflow-safe backoff; retries exhausted
 // means the batch is dropped, never the worker.
-func (s *Server) runBatch(ctx context.Context, b *batch, scratch *core.Metrics) {
+func (s *Server) runBatch(ctx context.Context, b *batch, scratch *core.Metrics, worker int) {
 	attempts := s.cfg.Retry.Attempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	for attempt := 1; ; attempt++ {
-		err := s.processProtected(b, scratch)
+		err := s.processProtected(b, scratch, worker)
 		if err == nil || attempt >= attempts {
 			return
 		}
@@ -396,7 +513,7 @@ func (s *Server) runBatch(ctx context.Context, b *batch, scratch *core.Metrics) 
 }
 
 // processProtected is one estimation attempt with panic containment.
-func (s *Server) processProtected(b *batch, scratch *core.Metrics) (err error) {
+func (s *Server) processProtected(b *batch, scratch *core.Metrics, worker int) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			mEstimatePanics.Inc()
@@ -404,7 +521,7 @@ func (s *Server) processProtected(b *batch, scratch *core.Metrics) (err error) {
 			err = pool.NewPanicError(v)
 		}
 	}()
-	s.process(b, scratch)
+	s.process(b, scratch, worker)
 	return nil
 }
 
@@ -412,9 +529,16 @@ func (s *Server) processProtected(b *batch, scratch *core.Metrics) (err error) {
 // and folds the result into node state. Non-finite per-sample estimates
 // are quarantined into counters; the node keeps its last good reading so
 // the fleet aggregate never turns NaN.
-func (s *Server) process(b *batch, scratch *core.Metrics) {
+//
+// Sampled batches stamp the SCHEDULED/ESTIMATED/DEPARTED events and feed
+// the latency histograms through the exemplar path so /metrics buckets
+// link back to /debug/tracez. Unsampled batches stay on the plain
+// Observe path — zero allocation — unless they turn out anomalous
+// (quarantine, slow outlier), in which case a trace is reconstructed
+// after the fact from the timestamps the batch already carries.
+func (s *Server) process(b *batch, scratch *core.Metrics, worker int) {
 	scheduled := time.Now()
-	mQueueWait.Observe(scheduled.Sub(b.queued).Seconds())
+	b.tr.AddAt(tracez.EvScheduled, scheduled, int64(worker), "")
 	fault := s.faultInjector()
 	var (
 		bad     uint64
@@ -448,8 +572,58 @@ func (s *Server) process(b *batch, scratch *core.Metrics) {
 	mSamplesEstimated.Add(uint64(len(b.samples)))
 	s.estimated.Add(uint64(len(b.samples)))
 	mBatches.Inc()
-	mService.Observe(departed.Sub(scheduled).Seconds())
-	mE2E.Observe(departed.Sub(b.arrived).Seconds())
+	queueWait := scheduled.Sub(b.queued).Seconds()
+	service := departed.Sub(scheduled).Seconds()
+	e2e := departed.Sub(b.arrived).Seconds()
+	if b.tr != nil {
+		b.tr.AddAt(tracez.EvEstimated, departed, int64(bad), "")
+		b.tr.AddAt(tracez.EvDeparted, departed, int64(len(b.samples)), "")
+		b.tr.End = departed
+		if bad > 0 {
+			b.tr.Outcome = "quarantine"
+		}
+		// One ID rendering per sampled batch; the exemplar ties the
+		// histogram bucket each latency lands in back to this trace.
+		id := b.tr.ID.String()
+		mQueueWait.ObserveExemplar(queueWait, id)
+		mService.ObserveExemplar(service, id)
+		mE2E.ObserveExemplar(e2e, id)
+		s.rec.Finish(b.tr)
+	} else {
+		mQueueWait.Observe(queueWait)
+		mService.Observe(service)
+		mE2E.Observe(e2e)
+		slow := s.cfg.SlowTrace > 0 && departed.Sub(b.arrived) > s.cfg.SlowTrace
+		if bad > 0 || slow {
+			s.reconstructAnomaly(b, scheduled, departed, worker, bad)
+		}
+	}
+	if bad > 0 && s.quarActive.CompareAndSwap(false, true) {
+		s.flight.NoteTrace("quarantine", "first non-finite estimate quarantined", int64(bad), b.tc.ID)
+		s.triggerBundle("quarantine")
+	}
+}
+
+// reconstructAnomaly assembles an always-kept trace for an unsampled
+// batch that turned out interesting: the batch's own timestamps become
+// the event timeline, so the anomaly is inspectable without having paid
+// for tracing on the hot path.
+func (s *Server) reconstructAnomaly(b *batch, scheduled, departed time.Time, worker int, bad uint64) {
+	id := b.tc.ID
+	if id.IsZero() {
+		id = tracez.NewTraceID()
+	}
+	t := s.rec.StartAt(id, b.node, "", b.arrived)
+	t.AddAt(tracez.EvAdmitted, b.arrived, int64(len(b.samples)), "")
+	t.AddAt(tracez.EvEnqueued, b.queued, 0, "")
+	t.AddAt(tracez.EvScheduled, scheduled, int64(worker), "")
+	if bad > 0 {
+		t.AddAt(tracez.EvQuarantine, departed, int64(bad), "nonfinite estimate")
+		t.Outcome = "quarantine"
+	}
+	t.AddAt(tracez.EvDeparted, departed, int64(len(b.samples)), "")
+	t.End = departed
+	s.rec.Finish(t)
 }
 
 // finiteReading reports whether every rail of r is finite.
@@ -647,6 +821,8 @@ type Stats struct {
 	QueueWait        LatencySummary `json:"queue_wait"`
 	Service          LatencySummary `json:"service"`
 	E2E              LatencySummary `json:"e2e"`
+	Trace            tracez.Stats   `json:"trace"`
+	LastDiagBundle   string         `json:"last_diag_bundle,omitempty"`
 }
 
 // Stats snapshots the server.
@@ -668,5 +844,7 @@ func (s *Server) Stats() Stats {
 		QueueWait:        summarize(mQueueWait),
 		Service:          summarize(mService),
 		E2E:              summarize(mE2E),
+		Trace:            s.rec.Stats(),
+		LastDiagBundle:   s.LastDiagBundle(),
 	}
 }

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"log/slog"
 	"net/http"
@@ -14,12 +15,12 @@ import (
 func TestServeEndpoints(t *testing.T) {
 	r := NewRegistry()
 	r.NewCounter("served_total", "x").Add(9)
-	addr, err := r.Serve("127.0.0.1:0")
+	obs, err := r.Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	get := func(path string) (int, string) {
-		resp, err := http.Get("http://" + addr.String() + path)
+		resp, err := http.Get("http://" + obs.Addr().String() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
@@ -41,6 +42,121 @@ func TestServeEndpoints(t *testing.T) {
 	}
 	if code, _ = get("/nope"); code != http.StatusNotFound {
 		t.Errorf("/nope = %d, want 404", code)
+	}
+
+	// Shutdown drains the listener: subsequent scrapes must fail.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := obs.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + obs.Addr().String() + "/metrics"); err == nil {
+		t.Error("scrape after Shutdown succeeded, want connection refusal")
+	}
+}
+
+func TestEscapingHostileStrings(t *testing.T) {
+	r := NewRegistry()
+	// HELP text with a backslash and a newline must come out as the two
+	// v0.0.4 escapes, keeping the exposition single-line-per-record.
+	r.NewCounter("hostile_total", "path C:\\tmp\nsecond line")
+	vec := r.NewCounterVec("hostile_vec_total", "labeled", "client")
+	vec.With("a\\b\"c\nd\te").Inc()
+	hv := r.NewHistogramVec("hostile_hist_seconds", "hist", "stage", []float64{1})
+	hv.With("q\"s\\t\n").Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `# HELP hostile_total path C:\\tmp\nsecond line`) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	// Label values escape exactly \ " and newline; the tab stays raw —
+	// %q-style \t renders a line the Prometheus parser rejects.
+	if !strings.Contains(out, `hostile_vec_total{client="a\\b\"c\nd`+"\t"+`e"} 1`) {
+		t.Errorf("counter vec label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `hostile_hist_seconds_bucket{stage="q\"s\\t\n",le="1"} 1`) {
+		t.Errorf("histogram vec label not escaped:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# HELP") && strings.Count(line, " ") < 3 && len(line) > 0 {
+			t.Errorf("suspicious HELP line: %q", line)
+		}
+	}
+}
+
+func TestExemplarsOnlyInOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("ex_seconds", "x", []float64{1, 10})
+	h.Observe(0.5)
+	h.ObserveExemplar(5, "00112233445566778899aabbccddeeff")
+
+	var classic bytes.Buffer
+	if err := r.WriteText(&classic); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(classic.String(), "trace_id") {
+		t.Errorf("v0.0.4 output leaked exemplars:\n%s", classic.String())
+	}
+
+	var om bytes.Buffer
+	if err := r.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	out := om.String()
+	if !strings.Contains(out, `ex_seconds_bucket{le="10"} 2 # {trace_id="00112233445566778899aabbccddeeff"} 5`) {
+		t.Errorf("exemplar annotation missing:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics output missing # EOF terminator")
+	}
+	if ref, v, ok := h.Exemplar(5); !ok || ref != "00112233445566778899aabbccddeeff" || v != 5 {
+		t.Errorf("Exemplar(5) = %q %g %v", ref, v, ok)
+	}
+	if _, _, ok := h.Exemplar(0.5); ok {
+		t.Error("bucket without exemplar reported one")
+	}
+}
+
+func TestMetricsHandlerNegotiatesExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.NewHistogram("neg_seconds", "x", []float64{1}).ObserveExemplar(0.5, "ff00")
+	obs, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	base := "http://" + obs.Addr().String() + "/metrics"
+
+	resp, err := http.Get(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(body), "trace_id") {
+		t.Error("plain GET returned exemplars")
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "0.0.4") {
+		t.Errorf("plain Content-Type = %q", ct)
+	}
+
+	req, _ := http.NewRequest("GET", base, nil)
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `# {trace_id="ff00"} 0.5`) {
+		t.Errorf("OpenMetrics negotiation missing exemplar:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "openmetrics") {
+		t.Errorf("negotiated Content-Type = %q", ct)
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefBuckets are the default histogram bounds (seconds), spanning
@@ -24,6 +25,18 @@ type Histogram struct {
 	sum       atomic.Uint64   // float64 bits
 	count     atomic.Uint64
 	nonfinite atomic.Uint64 // NaN/±Inf observations dropped, never bucketed
+	// ex holds the last exemplar to land in each bucket (nil until one
+	// does); exposed only in the OpenMetrics rendering.
+	ex []atomic.Pointer[exemplar]
+}
+
+// exemplar ties one observation to a trace: the bucket's OpenMetrics
+// `# {trace_id="..."} value timestamp` annotation, so a p99 bucket
+// links directly to a reconstructable trace in /debug/tracez.
+type exemplar struct {
+	ref   string  // trace ID
+	value float64 // the exact observed value
+	unix  float64 // observation time, unix seconds
 }
 
 func newHistogram(name, help string, bounds []float64) *Histogram {
@@ -39,6 +52,7 @@ func newHistogram(name, help string, bounds []float64) *Histogram {
 		desc:   desc{name, help},
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]atomic.Uint64, len(bounds)+1),
+		ex:     make([]atomic.Pointer[exemplar], len(bounds)+1),
 	}
 }
 
@@ -64,15 +78,47 @@ func (h *Histogram) Observe(v float64) {
 		h.nonfinite.Add(1)
 		return
 	}
-	// Bucket lists are short (≤ ~12); a linear scan beats binary search
-	// at this size and keeps the code branch-predictable.
+	h.counts[h.bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sum, v)
+}
+
+// bucketIndex finds the bucket holding v. Bucket lists are short
+// (≤ ~12); a linear scan beats binary search at this size and keeps
+// the code branch-predictable.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
+	return i
+}
+
+// ObserveExemplar records v like Observe and additionally remembers
+// (traceRef, v, now) as the landing bucket's exemplar. It allocates,
+// so callers use it only on sampled requests; the unsampled hot path
+// stays on Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceRef string) {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.nonfinite.Add(1)
+		return
+	}
+	i := h.bucketIndex(v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	atomicAddFloat(&h.sum, v)
+	h.ex[i].Store(&exemplar{ref: traceRef, value: v, unix: float64(time.Now().UnixNano()) / 1e9})
+}
+
+// Exemplar returns the trace ref and value of the exemplar recorded in
+// the bucket holding v, if any — the reverse lookup tests and debug
+// tooling use ("which trace landed near the p99?").
+func (h *Histogram) Exemplar(v float64) (ref string, value float64, ok bool) {
+	e := h.ex[h.bucketIndex(v)].Load()
+	if e == nil {
+		return "", 0, false
+	}
+	return e.ref, e.value, true
 }
 
 // Count returns the number of observations.
@@ -138,21 +184,27 @@ func (h *Histogram) samples(points map[string]float64) {
 	points[h.metricName+"_nonfinite"] = float64(h.NonFinite())
 }
 
-func (h *Histogram) expose(w writer) {
+func (h *Histogram) expose(w writer, exemplars bool) {
 	exposeHeader(w, h)
-	h.exposeSeries(w, "")
+	h.exposeSeries(w, "", exemplars)
 }
 
 // exposeSeries writes the _bucket/_sum/_count lines, with extraLabel
 // (`name="value",` form) spliced into each label set for vec members.
-func (h *Histogram) exposeSeries(w writer, extraLabel string) {
+// With exemplars set, each bucket line that has a recorded exemplar is
+// followed by the OpenMetrics `# {trace_id="..."} value timestamp`
+// annotation; the classic v0.0.4 rendering must never include these,
+// since pre-OpenMetrics parsers reject the syntax.
+func (h *Histogram) exposeSeries(w writer, extraLabel string, exemplars bool) {
 	cum := uint64(0)
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d\n", h.metricName, extraLabel, b, cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=\"%g\"} %d", h.metricName, extraLabel, b, cum)
+		h.exposeExemplar(w, i, exemplars)
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", h.metricName, extraLabel, cum)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d", h.metricName, extraLabel, cum)
+	h.exposeExemplar(w, len(h.bounds), exemplars)
 	if extraLabel == "" {
 		fmt.Fprintf(w, "%s_sum %g\n", h.metricName, h.Sum())
 		fmt.Fprintf(w, "%s_count %d\n", h.metricName, h.Count())
@@ -165,6 +217,18 @@ func (h *Histogram) exposeSeries(w writer, extraLabel string) {
 		fmt.Fprintf(w, "%s_overflow%s %d\n", h.metricName, braced, h.Overflow())
 		fmt.Fprintf(w, "%s_nonfinite%s %d\n", h.metricName, braced, h.NonFinite())
 	}
+}
+
+// exposeExemplar terminates a bucket line: with exemplars enabled and
+// bucket i holding one, it appends the OpenMetrics annotation before
+// the newline, otherwise it writes the bare newline.
+func (h *Histogram) exposeExemplar(w writer, i int, exemplars bool) {
+	if exemplars {
+		if e := h.ex[i].Load(); e != nil {
+			fmt.Fprintf(w, " # {trace_id=\"%s\"} %g %.3f", escapeLabelValue(e.ref), e.value, e.unix)
+		}
+	}
+	fmt.Fprint(w, "\n")
 }
 
 // CounterVec is a family of counters keyed by one label. With is a
@@ -227,11 +291,11 @@ func (v *CounterVec) samples(points map[string]float64) {
 	}
 }
 
-func (v *CounterVec) expose(w writer) {
+func (v *CounterVec) expose(w writer, _ bool) {
 	exposeHeader(w, v)
 	m := v.snapshotMap()
 	for _, val := range sortedLabelValues(m) {
-		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.metricName, v.label, val, m[val].Value())
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.metricName, v.label, escapeLabelValue(val), m[val].Value())
 	}
 }
 
@@ -311,10 +375,10 @@ func (v *HistogramVec) samples(points map[string]float64) {
 	}
 }
 
-func (v *HistogramVec) expose(w writer) {
+func (v *HistogramVec) expose(w writer, exemplars bool) {
 	exposeHeader(w, v)
 	m := v.snapshotMap()
 	for _, val := range sortedLabelValues(m) {
-		m[val].exposeSeries(w, fmt.Sprintf("%s=%q,", v.label, val))
+		m[val].exposeSeries(w, fmt.Sprintf("%s=\"%s\",", v.label, escapeLabelValue(val)), exemplars)
 	}
 }

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -60,8 +61,10 @@ type metric interface {
 	// samples appends flattened (suffix/labels, value) points; see
 	// Snapshot for the flattening rules.
 	samples(points map[string]float64)
-	// expose writes the metric in Prometheus text format.
-	expose(w writer)
+	// expose writes the metric in Prometheus text format. exemplars
+	// selects the OpenMetrics rendering, which appends `# {...}`
+	// exemplar annotations to histogram bucket lines.
+	expose(w writer, exemplars bool)
 }
 
 // writer is the subset of io.Writer + fmt use sites need; kept tiny so
@@ -145,7 +148,7 @@ func (c *Counter) kind() Kind { return KindCounter }
 func (c *Counter) samples(points map[string]float64) {
 	points[c.metricName] = float64(c.v.Load())
 }
-func (c *Counter) expose(w writer) {
+func (c *Counter) expose(w writer, _ bool) {
 	exposeHeader(w, c)
 	fmt.Fprintf(w, "%s %d\n", c.metricName, c.v.Load())
 }
@@ -168,7 +171,7 @@ func (c *FloatCounter) kind() Kind { return KindCounter }
 func (c *FloatCounter) samples(points map[string]float64) {
 	points[c.metricName] = c.Value()
 }
-func (c *FloatCounter) expose(w writer) {
+func (c *FloatCounter) expose(w writer, _ bool) {
 	exposeHeader(w, c)
 	fmt.Fprintf(w, "%s %g\n", c.metricName, c.Value())
 }
@@ -192,7 +195,7 @@ func (g *Gauge) kind() Kind { return KindGauge }
 func (g *Gauge) samples(points map[string]float64) {
 	points[g.metricName] = g.Value()
 }
-func (g *Gauge) expose(w writer) {
+func (g *Gauge) expose(w writer, _ bool) {
 	exposeHeader(w, g)
 	fmt.Fprintf(w, "%s %g\n", g.metricName, g.Value())
 }
@@ -218,7 +221,54 @@ func (d desc) name() string { return d.metricName }
 func (d desc) help() string { return d.metricHelp }
 
 func exposeHeader(w writer, m metric) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name(), m.help(), m.name(), m.kind())
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name(), escapeHelp(m.help()), m.name(), m.kind())
+}
+
+// escapeHelp escapes HELP text per the Prometheus text format v0.0.4:
+// backslash and newline only. The fast path (no special characters)
+// returns the input unchanged.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the text format: backslash,
+// double quote and newline. Note this is narrower than Go's %q — the
+// Prometheus parser knows exactly three escapes, so rendering a tab as
+// \t (as %q would) produces a line scrapers reject.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
 }
 
 // NewCounter registers a counter on r.

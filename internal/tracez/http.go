@@ -1,0 +1,109 @@
+package tracez
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+)
+
+// Handler serves the recorder's retention views:
+//
+//	GET /debug/tracez                 HTML overview (recent + errored + slowest)
+//	GET /debug/tracez?view=recent     one view (recent | errored | slow)
+//	GET /debug/tracez?format=json     the full Snapshot as JSON
+//
+// The handler is registered at whatever path the caller mounts it on;
+// query parameters, not the path, select the view.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(filterSnapshot(snap, req.URL.Query().Get("view")))
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		writeHTML(w, snap, req.URL.Query().Get("view"))
+	})
+}
+
+// filterSnapshot narrows a snapshot to one view for ?view= JSON
+// requests; an empty or unknown view returns everything.
+func filterSnapshot(s Snapshot, view string) Snapshot {
+	switch view {
+	case "recent":
+		return Snapshot{Stats: s.Stats, Recent: s.Recent}
+	case "errored":
+		return Snapshot{Stats: s.Stats, Errored: s.Errored}
+	case "slow", "slowest":
+		return Snapshot{Stats: s.Stats, Slowest: s.Slowest}
+	}
+	return s
+}
+
+func writeHTML(w http.ResponseWriter, snap Snapshot, view string) {
+	fmt.Fprint(w, `<!DOCTYPE html><html><head><title>tracez</title><style>
+body{font-family:monospace;margin:1.5em;background:#fafafa;color:#222}
+h1{font-size:1.3em}h2{font-size:1.1em;margin-top:1.5em}
+table{border-collapse:collapse;margin:.5em 0}
+td,th{border:1px solid #bbb;padding:2px 8px;text-align:right;font-size:.85em}
+th{background:#eee}td.l,th.l{text-align:left}
+tr.anom td{background:#fde8e8}
+.ev{color:#555;font-size:.8em}
+</style></head><body><h1>/debug/tracez</h1>`)
+	fmt.Fprintf(w, `<p>sample_rate=%g started=%d finished=%d anomalies=%d slow=%d</p>`,
+		snap.Stats.SampleRate, snap.Stats.Started, snap.Stats.Finished,
+		snap.Stats.Anomalies, snap.Stats.Slow)
+	fmt.Fprint(w, `<p>views: <a href="?view=recent">recent</a> · <a href="?view=errored">errored</a> · <a href="?view=slow">slowest</a> · <a href="?format=json">json</a></p>`)
+
+	if view == "" || view == "recent" {
+		writeTable(w, "Recent", snap.Recent)
+	}
+	if view == "" || view == "errored" {
+		writeTable(w, "Errored / always-kept anomalies", snap.Errored)
+	}
+	if view == "" || view == "slow" || view == "slowest" {
+		stages := make([]string, 0, len(snap.Slowest))
+		for s := range snap.Slowest {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			writeTable(w, "Slowest by "+s, snap.Slowest[s])
+		}
+	}
+	fmt.Fprint(w, `</body></html>`)
+}
+
+func writeTable(w http.ResponseWriter, title string, traces []TraceJSON) {
+	fmt.Fprintf(w, `<h2>%s (%d)</h2>`, html.EscapeString(title), len(traces))
+	if len(traces) == 0 {
+		fmt.Fprint(w, `<p class="ev">none</p>`)
+		return
+	}
+	fmt.Fprint(w, `<table><tr><th class="l">id</th><th class="l">node</th><th class="l">outcome</th><th>admission ms</th><th>queue ms</th><th>service ms</th><th>e2e ms</th><th class="l">events</th></tr>`)
+	for _, t := range traces {
+		cls := ""
+		if t.Anomaly {
+			cls = ` class="anom"`
+		}
+		fmt.Fprintf(w, `<tr%s><td class="l">%s</td><td class="l">%s</td><td class="l">%s</td><td>%.3f</td><td>%.3f</td><td>%.3f</td><td>%.3f</td><td class="l ev">`,
+			cls, html.EscapeString(t.ID), html.EscapeString(t.Node),
+			html.EscapeString(t.Outcome), t.AdmissionMs, t.QueueMs, t.ServiceMs, t.E2EMs)
+		for i, ev := range t.Events {
+			if i > 0 {
+				fmt.Fprint(w, " → ")
+			}
+			fmt.Fprintf(w, "%s@%.0fµs", html.EscapeString(ev.Kind), ev.OffsetUs)
+			if ev.Note != "" {
+				fmt.Fprintf(w, "(%s)", html.EscapeString(ev.Note))
+			}
+		}
+		fmt.Fprint(w, `</td></tr>`)
+	}
+	fmt.Fprint(w, `</table>`)
+}

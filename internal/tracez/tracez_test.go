@@ -1,0 +1,319 @@
+package tracez
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 {
+		t.Fatalf("String() = %q, want 32 hex chars", s)
+	}
+	back, err := ParseTraceID(s)
+	if err != nil {
+		t.Fatalf("ParseTraceID(%q): %v", s, err)
+	}
+	if back != id {
+		t.Fatalf("round trip: got %v, want %v", back, id)
+	}
+	if _, err := ParseTraceID("short"); err == nil {
+		t.Error("ParseTraceID accepted a short string")
+	}
+	if _, err := ParseTraceID(strings.Repeat("z", 32)); err == nil {
+		t.Error("ParseTraceID accepted non-hex input")
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if seen[id] {
+			t.Fatalf("duplicate ID %s after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+// TestSampledDeterministicAndProportional: the head-based decision is a
+// pure function of (ID, rate) — so a producer and the server agree —
+// and the sampled fraction tracks the configured rate.
+func TestSampledDeterministicAndProportional(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 0.1})
+	const n = 20000
+	sampled := 0
+	for i := 0; i < n; i++ {
+		id := NewTraceID()
+		first := r.Sampled(id)
+		if second := r.Sampled(id); second != first {
+			t.Fatalf("Sampled(%s) flapped %v -> %v", id, first, second)
+		}
+		if first {
+			sampled++
+		}
+	}
+	got := float64(sampled) / n
+	if math.Abs(got-0.1) > 0.02 {
+		t.Errorf("sampled fraction %.4f at rate 0.1, want within ±0.02", got)
+	}
+
+	r.SetSampleRate(0)
+	if r.Sampled(NewTraceID()) {
+		t.Error("rate 0 sampled something")
+	}
+	r.SetSampleRate(1)
+	if !r.Sampled(NewTraceID()) {
+		t.Error("rate 1 skipped something")
+	}
+	r.SetSampleRate(math.NaN())
+	if r.SampleRate() != 0 {
+		t.Errorf("NaN rate stored as %g, want clamped to 0", r.SampleRate())
+	}
+}
+
+// TestHotPathAllocFree gates the tentpole contract: deciding not to
+// trace — mint, sample check, nil-trace event stamps — must not
+// allocate, because it runs per ingest request with sampling disabled.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 0})
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctx := r.Mint()
+		tr := r.Start(ctx, "node", "client", time.Time{})
+		tr.Add(EvAdmitted, 1)
+		tr.AddNote(EvEnqueued, 2, "x")
+		r.Finish(tr)
+	})
+	if allocs != 0 {
+		t.Errorf("unsampled trace path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestTraceEventsAndDurations(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1})
+	start := time.Now()
+	tr := r.Start(Context{ID: NewTraceID(), Sampled: true}, "n1", "c1", start)
+	if tr == nil {
+		t.Fatal("Start returned nil for a sampled context")
+	}
+	tr.AddAt(EvAdmitted, start.Add(5*time.Microsecond), 64, "")
+	tr.AddAt(EvEnqueued, start.Add(10*time.Microsecond), 3, "")
+	tr.AddAt(EvScheduled, start.Add(110*time.Microsecond), 1, "")
+	tr.AddAt(EvDeparted, start.Add(310*time.Microsecond), 64, "")
+	tr.End = start.Add(310 * time.Microsecond)
+	r.Finish(tr)
+
+	d := tr.Durations()
+	if d[StageAdmission] != 10*time.Microsecond {
+		t.Errorf("admission = %v, want 10µs", d[StageAdmission])
+	}
+	if d[StageQueue] != 100*time.Microsecond {
+		t.Errorf("queue = %v, want 100µs", d[StageQueue])
+	}
+	if d[StageService] != 200*time.Microsecond {
+		t.Errorf("service = %v, want 200µs", d[StageService])
+	}
+	if d[StageE2E] != 310*time.Microsecond {
+		t.Errorf("e2e = %v, want 310µs", d[StageE2E])
+	}
+	if tr.Outcome != "ok" {
+		t.Errorf("outcome %q, want ok", tr.Outcome)
+	}
+}
+
+func TestEventCapacityBounded(t *testing.T) {
+	r := NewRecorder(Config{})
+	tr := r.StartAt(NewTraceID(), "n", "", time.Now())
+	for i := 0; i < MaxEvents+5; i++ {
+		tr.Add(EvNote, int64(i))
+	}
+	if len(tr.Events()) != MaxEvents {
+		t.Errorf("events = %d, want capped at %d", len(tr.Events()), MaxEvents)
+	}
+	if tr.Dropped() != 5 {
+		t.Errorf("dropped = %d, want 5", tr.Dropped())
+	}
+}
+
+// TestRingsBoundedAndOrdered: retention never exceeds RingSize and the
+// recent view is newest-first.
+func TestRingsBoundedAndOrdered(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1, RingSize: 4})
+	for i := 0; i < 10; i++ {
+		tr := r.StartAt(NewTraceID(), "n", "", time.Now())
+		tr.Add(EvNote, int64(i))
+		r.Finish(tr)
+	}
+	snap := r.Snapshot()
+	if len(snap.Recent) != 4 {
+		t.Fatalf("recent = %d traces, want ring bound 4", len(snap.Recent))
+	}
+	for i := 0; i < len(snap.Recent)-1; i++ {
+		a, b := snap.Recent[i].Events[0].Arg, snap.Recent[i+1].Events[0].Arg
+		if a <= b {
+			t.Errorf("recent not newest-first: %d before %d", a, b)
+		}
+	}
+	if snap.Recent[0].Events[0].Arg != 9 {
+		t.Errorf("newest trace arg = %d, want 9", snap.Recent[0].Events[0].Arg)
+	}
+}
+
+// TestAnomalyAlwaysKept: with sampling off, anomalies still land in the
+// errored ring — the always-keep rule.
+func TestAnomalyAlwaysKept(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 0})
+	id := NewTraceID()
+	r.Anomaly(id, "node-x", "client-y", time.Now(), "shed:queue_full", EvShed, 256)
+
+	snap := r.Snapshot()
+	if len(snap.Errored) != 1 {
+		t.Fatalf("errored = %d traces, want 1", len(snap.Errored))
+	}
+	got := snap.Errored[0]
+	if got.ID != id.String() || got.Outcome != "shed:queue_full" || !got.Anomaly {
+		t.Errorf("anomaly trace = %+v", got)
+	}
+	if st := r.Stats(); st.Anomalies != 1 {
+		t.Errorf("anomalies = %d, want 1", st.Anomalies)
+	}
+}
+
+// TestSlowPromotion: an ok trace over the slow threshold is re-labelled
+// "slow" and kept in the errored ring.
+func TestSlowPromotion(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1, SlowThreshold: time.Millisecond})
+	start := time.Now().Add(-10 * time.Millisecond)
+	tr := r.StartAt(NewTraceID(), "n", "", start)
+	r.Finish(tr)
+
+	fast := r.StartAt(NewTraceID(), "n", "", time.Now())
+	fast.End = fast.Start.Add(10 * time.Microsecond)
+	r.Finish(fast)
+
+	snap := r.Snapshot()
+	if len(snap.Errored) != 1 || snap.Errored[0].Outcome != "slow" {
+		t.Fatalf("errored = %+v, want exactly the slow trace", snap.Errored)
+	}
+	if st := r.Stats(); st.Slow != 1 {
+		t.Errorf("slow = %d, want 1", st.Slow)
+	}
+}
+
+// TestSlowestPerStage: the per-stage top-K really holds the slowest
+// traces for that stage, slowest first.
+func TestSlowestPerStage(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1, TopK: 3})
+	start := time.Now()
+	for i := 1; i <= 6; i++ {
+		tr := r.StartAt(NewTraceID(), "n", "", start)
+		tr.AddAt(EvEnqueued, start.Add(time.Duration(i)*time.Millisecond), 0, "")
+		tr.AddAt(EvScheduled, start.Add(time.Duration(i+1)*time.Millisecond), 0, "")
+		tr.AddAt(EvDeparted, start.Add(time.Duration(2*i+1)*time.Millisecond), 0, "")
+		tr.End = start.Add(time.Duration(2*i+1) * time.Millisecond)
+		r.Finish(tr)
+	}
+	snap := r.Snapshot()
+	adm := snap.Slowest["admission"]
+	if len(adm) != 3 {
+		t.Fatalf("slowest admission = %d, want top-3", len(adm))
+	}
+	// Admission duration is i ms; slowest three are 6,5,4.
+	for want, j := 6, 0; j < 3; want, j = want-1, j+1 {
+		if math.Abs(adm[j].AdmissionMs-float64(want)) > 0.001 {
+			t.Errorf("slowest[%d].AdmissionMs = %.3f, want %d", j, adm[j].AdmissionMs, want)
+		}
+	}
+	if len(snap.Slowest["e2e"]) != 3 {
+		t.Errorf("slowest e2e = %d, want 3", len(snap.Slowest["e2e"]))
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1, RingSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := r.StartAt(NewTraceID(), "n", "", time.Now())
+				tr.Add(EvAdmitted, int64(i))
+				tr.Add(EvDeparted, int64(i))
+				r.Finish(tr)
+			}
+		}()
+	}
+	wg.Wait()
+	st := r.Stats()
+	if st.Finished != 1600 {
+		t.Errorf("finished = %d, want 1600", st.Finished)
+	}
+	if got := len(r.Snapshot().Recent); got != 64 {
+		t.Errorf("recent = %d, want ring bound 64", got)
+	}
+}
+
+func TestHandlerJSONAndHTML(t *testing.T) {
+	r := NewRecorder(Config{SampleRate: 1})
+	tr := r.StartAt(NewTraceID(), "node-7", "client-a", time.Now())
+	tr.Add(EvAdmitted, 10)
+	r.Finish(tr)
+	r.Anomaly(NewTraceID(), "node-8", "", time.Now(), "rate_limited", EvShed, 99)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	body := fetch(t, srv.URL+"?format=json")
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("JSON view did not parse: %v\n%s", err, body)
+	}
+	if len(snap.Recent) != 2 || len(snap.Errored) != 1 {
+		t.Errorf("recent=%d errored=%d, want 2/1", len(snap.Recent), len(snap.Errored))
+	}
+
+	body = fetch(t, srv.URL+"?view=errored&format=json")
+	var errView Snapshot
+	if err := json.Unmarshal([]byte(body), &errView); err != nil {
+		t.Fatalf("errored JSON view: %v", err)
+	}
+	if len(errView.Recent) != 0 || len(errView.Errored) != 1 {
+		t.Errorf("view=errored returned recent=%d errored=%d", len(errView.Recent), len(errView.Errored))
+	}
+
+	body = fetch(t, srv.URL)
+	for _, want := range []string{"<html>", "node-7", "rate_limited", "ADMITTED"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("HTML view missing %q", want)
+		}
+	}
+}
+
+func fetch(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}
