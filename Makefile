@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update serve loadgen serve-smoke
+.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update serve loadgen serve-smoke drift-drill
 
 all: vet test
 
@@ -74,6 +74,16 @@ loadgen:
 
 serve-smoke:
 	$(GO) run ./examples/loadgen -duration 3s -rate 50000 -clients 2
+
+# Self-healing drift drill (DESIGN.md §3h): workload-mix drift must
+# breach the 9% bound on a frozen estimator while the adaptive one
+# detects, refits, and hot-swaps back under it; then the negative
+# control (corrupted challenger rejected by the shadow gate) and the
+# rollback drill (bad swap reverted within one window).
+drift-drill:
+	$(GO) run ./examples/drift
+	$(GO) run ./examples/drift -force-bad-challenger
+	$(GO) run ./examples/drift -rollback-drill
 
 loc:
 	find . -name '*.go' | xargs wc -l | tail -1

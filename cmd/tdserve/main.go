@@ -13,11 +13,14 @@
 //	        [-rate 0] [-burst 0] [-retry-after 1s] [-stale-after 15s]
 //	        [-trace-sample 0.01] [-trace-ring 256] [-slow-trace 50ms]
 //	        [-diag-dir DIR] [-metrics-addr ADDR]
+//	        [-adapt] [-drift-window 180] [-rollback-depth 4] [-adapt-seed 1]
 //	        [-save-models models.json] [-v]
 //
 // Endpoints: POST /ingest (perfctr TDS1 wire batches, with optional
-// TDX1 trace context), GET /power?node=, GET /fleet, GET /statz,
-// GET /healthz, GET /debug/tracez (sampled + anomaly traces), and
+// TDX1 trace context and TDP1 measured rails), GET /power?node=,
+// GET /fleet, GET /statz, GET /driftz (self-healing adaptation state;
+// 404 unless -adapt), GET /healthz, GET /debug/tracez (sampled +
+// anomaly traces), and
 // /metrics + /debug/pprof via the telemetry registry. -metrics-addr
 // serves the observability mux on a second listener that drains with
 // the service. SIGINT/SIGTERM trigger a graceful shutdown: intake
@@ -38,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"trickledown/internal/adapt"
 	"trickledown/internal/core"
 	"trickledown/internal/experiments"
 	"trickledown/internal/serve"
@@ -64,12 +68,21 @@ func main() {
 	slowTrace := flag.Duration("slow-trace", 50*time.Millisecond, "e2e latency past which a batch is always kept as a slow-outlier trace (negative = off)")
 	diagDir := flag.String("diag-dir", "", "write diagnostics bundles here on shedding/quarantine transitions and SIGQUIT (empty = off)")
 	metricsAddr := flag.String("metrics-addr", "", "serve the observability mux on a second listener (empty = off; /metrics is also on -addr)")
+	adaptOn := flag.Bool("adapt", false, "enable self-healing: drift detection on TDP1-rails batches, guarded refit, hot-swap with rollback")
+	driftWindow := flag.Int("drift-window", 180, "adaptation sliding window in observations (refit + shadow evaluation)")
+	rollbackDepth := flag.Int("rollback-depth", 4, "previous champions retained for instant rollback")
+	adaptSeed := flag.Uint64("adapt-seed", 1, "seed for deterministic swap trace IDs")
 	verbose := flag.Bool("v", false, "log per-signal detail")
 	flag.Parse()
 
 	est, err := loadOrTrain(*models, *trainScale, *saveModels)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if p := est.Provenance(); p != nil {
+		log.Printf("model provenance: %s", p)
+	} else {
+		log.Print("model provenance: unversioned (pre-provenance file)")
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -88,6 +101,23 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *adaptOn {
+		mgr, err := adapt.New(adapt.Config{
+			Champion:      est,
+			Window:        *driftWindow,
+			RollbackDepth: *rollbackDepth,
+			Seed:          *adaptSeed,
+			OnEvent: func(ev adapt.Event) {
+				log.Printf("adapt %s: %s -> %s (%s) trace=%s", ev.Kind, ev.From, ev.To, ev.Detail, ev.Trace)
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.SetAdapter(mgr)
+		log.Printf("self-healing enabled window=%d rollback-depth=%d seed=%d",
+			*driftWindow, *rollbackDepth, *adaptSeed)
 	}
 	srv.Start()
 

@@ -1,0 +1,547 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"trickledown/internal/align"
+	"trickledown/internal/core"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/phase"
+	"trickledown/internal/power"
+	"trickledown/internal/telemetry"
+	"trickledown/internal/tracez"
+	"trickledown/internal/validate"
+)
+
+// Cross-layer telemetry (satellite: swap observability). The swap
+// histogram carries exemplar trace IDs so a swap seen on a dashboard
+// links straight to its flight-recorder note.
+var (
+	mAlarms      = telemetry.NewCounterVec("adapt_drift_alarms_total", "Drift alarms by detector (residual, envelope).", "detector")
+	mRetrains    = telemetry.NewCounterVec("adapt_retrains_total", "Challenger refits by outcome (started, succeeded, rejected).", "outcome")
+	mSwaps       = telemetry.NewCounter("adapt_swaps_total", "Champion hot-swaps performed.")
+	mRollbacks   = telemetry.NewCounter("adapt_rollbacks_total", "Rollbacks to a prior champion.")
+	mQuarantined = telemetry.NewCounter("adapt_residuals_quarantined_total", "Non-finite residuals dropped before the detector.")
+	mModelAge    = telemetry.NewGauge("adapt_active_model_age_observations", "Observations served by the active champion.")
+	mSwapErr     = telemetry.NewHistogram("adapt_swap_window_err_pct", "Challenger window error at swap time, percent.",
+		[]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 20})
+)
+
+// Config tunes a Manager. Champion is required; everything else has a
+// serving-grade default.
+type Config struct {
+	// Champion is the initial serving estimator.
+	Champion *core.Estimator
+	// Window is the sliding-window size in observations for refits and
+	// shadow evaluation. Default 180 (three minutes at 1 Hz).
+	Window int
+	// MinFill is the minimum window occupancy before a refit may be
+	// attempted. Default Window/2.
+	MinFill int
+	// ErrBoundPct is the hard ceiling a challenger's window error must
+	// stay under. Default validate.PaperBoundPct (9%).
+	ErrBoundPct float64
+	// BaselineErrPct seeds the residual detector's slack: per-sample
+	// error this far above zero is considered in-envelope. Take it from
+	// the GOLDEN corpus's held-out mean error. Default 5.
+	BaselineErrPct float64
+	// AlarmBudgetPct is the Page-Hinkley lambda: the cumulative excess
+	// error (percent·samples) that raises the drift alarm. Default 60.
+	AlarmBudgetPct float64
+	// EnvelopeSlackZ and EnvelopeBudgetZ tune the residual-free CUSUM
+	// (per-sample z slack and alarm threshold). Defaults 3 and 240.
+	EnvelopeSlackZ  float64
+	EnvelopeBudgetZ float64
+	// RollbackDepth bounds the ring of previous champions. Default 4.
+	RollbackDepth int
+	// GuardWindow is how many post-swap observations a residual alarm
+	// triggers instant rollback instead of a fresh retrain. Default
+	// Window/2.
+	GuardWindow int
+	// Cooldown is the minimum observations between promotion attempts,
+	// successful or not. Default Window/4.
+	Cooldown int
+	// PhaseThresholdW is the phase detector's band (Watts); retraining
+	// is gated off near phase boundaries. Default 12.
+	PhaseThresholdW float64
+	// PhaseSettle is how many samples the current phase must have
+	// persisted before a promotion may proceed. Default 8.
+	PhaseSettle int
+	// Seed makes minted swap trace IDs (and thus flight-recorder and
+	// exemplar references) deterministic for drills. Default 1.
+	Seed uint64
+	// OnEvent, when set, observes every swap and rollback — the serve
+	// layer uses it to flip its atomic estimator pointer, note the
+	// flight recorder, and dump a diagnostics bundle.
+	OnEvent func(Event)
+	// ChallengerHook, when set, may replace a fitted challenger before
+	// the shadow gate sees it. CI's negative control injects a
+	// deliberately bad challenger here and asserts the gate rejects it.
+	ChallengerHook func(*core.Estimator) *core.Estimator
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = 180
+	}
+	if c.MinFill <= 0 {
+		c.MinFill = c.Window / 2
+	}
+	if c.ErrBoundPct <= 0 {
+		c.ErrBoundPct = validate.PaperBoundPct
+	}
+	if c.BaselineErrPct <= 0 {
+		c.BaselineErrPct = 5
+	}
+	if c.AlarmBudgetPct <= 0 {
+		c.AlarmBudgetPct = 60
+	}
+	if c.EnvelopeSlackZ <= 0 {
+		c.EnvelopeSlackZ = 3
+	}
+	if c.EnvelopeBudgetZ <= 0 {
+		c.EnvelopeBudgetZ = 240
+	}
+	if c.RollbackDepth <= 0 {
+		c.RollbackDepth = 4
+	}
+	if c.GuardWindow <= 0 {
+		c.GuardWindow = c.Window / 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = c.Window / 4
+	}
+	if c.PhaseThresholdW <= 0 {
+		c.PhaseThresholdW = 12
+	}
+	if c.PhaseSettle <= 0 {
+		c.PhaseSettle = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Event describes one champion change.
+type Event struct {
+	// Kind is "swap" or "rollback".
+	Kind string
+	// From and To are the provenance versions of the outgoing and
+	// incoming champions ("unversioned" when absent).
+	From, To string
+	// Estimator is the new champion.
+	Estimator *core.Estimator
+	// Trace is the deterministic trace ID minted for this event.
+	Trace tracez.TraceID
+	// WindowErrPct is the incoming model's window error at decision
+	// time (the challenger's on swap, the restored champion's unknown
+	// on rollback: zero).
+	WindowErrPct float64
+	// Detail is a one-line human reason.
+	Detail string
+}
+
+// Manager runs the detect → refit → gate → swap → rollback loop. It is
+// fed one observation at a time (counter sample plus measured rails
+// when available) and owns the champion lifecycle; consumers read the
+// active estimator through the OnEvent callback or Status.
+//
+// All methods are safe for concurrent use, but determinism is only
+// guaranteed when one goroutine feeds Observe — the drills do exactly
+// that.
+type Manager struct {
+	cfg Config
+
+	mu          sync.Mutex
+	champion    *core.Estimator
+	fitters     [power.NumSubsystems]*core.OnlineFitter
+	window      []align.Row // ring, oldest at wHead
+	wHead, wLen int
+	resid       *PageHinkley
+	env         *EnvelopeCUSUM
+	phases      *phase.Detector
+	ring        []*core.Estimator // rollback ring, most recent last
+
+	obs            uint64 // total observations
+	modelAge       uint64 // observations since last champion change
+	sinceAttempt   uint64 // observations since last promotion attempt
+	pending        bool   // drift alarm raised, retrain wanted
+	guardRemaining int    // post-swap guard observations left
+	refitSeq       int    // refit version counter
+	idState        uint64 // SplitMix64 state for deterministic trace IDs
+
+	subs []func(Event) // Subscribe listeners, called after cfg.OnEvent
+
+	alarms, retrains, rejected, swaps, rollbacks, quarantined uint64
+	lastErrPct                                                float64
+	lastAlarm                                                 string
+}
+
+// adaptSpecs returns the production spec per subsystem, indexed by
+// power.Subsystem — the models a challenger refits.
+func adaptSpecs() [power.NumSubsystems]core.ModelSpec {
+	var out [power.NumSubsystems]core.ModelSpec
+	out[power.SubCPU] = core.CPUSpec()
+	out[power.SubChipset] = core.ChipsetSpec()
+	out[power.SubMemory] = core.MemBusSpec()
+	out[power.SubIO] = core.IOSpec()
+	out[power.SubDisk] = core.DiskSpec()
+	return out
+}
+
+// New builds a manager around an initial champion.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Champion == nil {
+		return nil, fmt.Errorf("adapt: config needs a champion estimator")
+	}
+	cfg = cfg.withDefaults()
+	m := &Manager{
+		cfg:      cfg,
+		champion: cfg.Champion,
+		window:   make([]align.Row, cfg.Window),
+		idState:  cfg.Seed,
+	}
+	for sub, spec := range adaptSpecs() {
+		f, err := core.NewOnlineFitter(spec, cfg.Window)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: fitter for %s: %w", power.Subsystem(sub), err)
+		}
+		m.fitters[sub] = f
+	}
+	var err error
+	if m.resid, err = NewPageHinkley(cfg.BaselineErrPct, cfg.AlarmBudgetPct); err != nil {
+		return nil, err
+	}
+	envs := championEnvelopes(cfg.Champion)
+	if m.env, err = NewEnvelopeCUSUM(envs, cfg.EnvelopeSlackZ, cfg.EnvelopeBudgetZ); err != nil {
+		return nil, err
+	}
+	if m.phases, err = phase.NewDetector(cfg.PhaseThresholdW); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func championEnvelopes(e *core.Estimator) []core.MetricEnvelope {
+	if p := e.Provenance(); p != nil {
+		return p.Envelopes
+	}
+	return nil
+}
+
+// mintTraceID derives the next deterministic trace ID from the seeded
+// SplitMix64 stream — drills replay with identical IDs.
+func (m *Manager) mintTraceID() tracez.TraceID {
+	var id tracez.TraceID
+	for i := 0; i < 16; i += 8 {
+		m.idState += 0x9e3779b97f4a7c15
+		z := m.idState
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		for b := 0; b < 8; b++ {
+			id[i+b] = byte(z >> (8 * b))
+		}
+	}
+	return id
+}
+
+// Subscribe registers fn to observe every swap and rollback, in
+// addition to (and after) Config.OnEvent. Callbacks run synchronously
+// inside the champion change with the manager's lock held: they must
+// not call back into the Manager. The serve layer subscribes its
+// atomic estimator swap and diagnostics-bundle trigger here.
+func (m *Manager) Subscribe(fn func(Event)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.subs = append(m.subs, fn)
+}
+
+// Champion returns the active estimator.
+func (m *Manager) Champion() *core.Estimator {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.champion
+}
+
+// Observe feeds one counter sample with its measured rails (ground
+// truth or a calibrated proxy). It drives drift detection, window
+// accumulation, and — when the gate conditions line up — a promotion
+// attempt or rollback, synchronously. The sample is retained shallowly
+// in the sliding window: callers must not mutate it afterwards.
+func (m *Manager) Observe(s *perfctr.Sample, measured power.Reading) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	met := core.ExtractMetrics(s)
+	m.obs++
+	m.modelAge++
+	m.sinceAttempt++
+	mModelAge.Set(float64(m.modelAge))
+
+	// Residual drift: per-sample Eq.6 error of the champion's total.
+	modeled := m.champion.EstimateMetrics(met).Total()
+	truth := measured.Total()
+	errPct := math.Abs(modeled-truth) / math.Abs(truth) * 100
+	if math.IsNaN(errPct) || math.IsInf(errPct, 0) {
+		m.quarantined++
+		mQuarantined.Inc()
+		return
+	}
+	m.lastErrPct = errPct
+
+	residAlarm := m.resid.Observe(errPct)
+	envAlarm, envMetric := m.env.Observe(core.EnvelopeMetrics(met))
+
+	// Phase tracking: never retrain mid-transition.
+	m.phases.Observe(measured)
+
+	// Window + fitters.
+	slot := (m.wHead + m.wLen) % len(m.window)
+	if m.wLen == len(m.window) {
+		slot = m.wHead
+		m.wHead = (m.wHead + 1) % len(m.window)
+	} else {
+		m.wLen++
+	}
+	m.window[slot] = align.Row{Power: measured, Counters: *s}
+	for sub := range m.fitters {
+		m.fitters[sub].Observe(met, measured[sub])
+	}
+
+	if residAlarm || envAlarm {
+		if m.guardRemaining > 0 {
+			m.rollbackLocked()
+			return
+		}
+		if !m.pending {
+			m.alarms++
+			if residAlarm {
+				m.lastAlarm = "residual"
+				mAlarms.With("residual").Inc()
+			} else {
+				m.lastAlarm = "envelope:" + envMetric
+				mAlarms.With("envelope").Inc()
+			}
+			m.pending = true
+			// The window straddles the change point: everything before
+			// the alarm reflects the regime the champion was right
+			// about. Discard it so the challenger is fit purely on
+			// post-drift data — a blended fit would pass the gate on
+			// the mixed window and then err on the new regime alone.
+			for sub := range m.fitters {
+				m.fitters[sub].Reset()
+			}
+			m.wHead, m.wLen = 0, 0
+		}
+	}
+	if m.guardRemaining > 0 {
+		m.guardRemaining--
+	}
+
+	if m.pending &&
+		m.wLen >= m.cfg.MinFill &&
+		m.sinceAttempt >= uint64(m.cfg.Cooldown) &&
+		m.phases.Settled(m.cfg.PhaseSettle) {
+		m.attemptPromoteLocked()
+	}
+}
+
+// windowDataset copies the ring into a dataset, oldest first.
+func (m *Manager) windowDataset() *align.Dataset {
+	rows := make([]align.Row, m.wLen)
+	for i := 0; i < m.wLen; i++ {
+		rows[i] = m.window[(m.wHead+i)%len(m.window)]
+	}
+	return &align.Dataset{Rows: rows}
+}
+
+// attemptPromoteLocked refits a challenger from the live window and
+// promotes it through the shadow gate. Called with mu held.
+func (m *Manager) attemptPromoteLocked() {
+	m.sinceAttempt = 0
+	m.retrains++
+	mRetrains.With("started").Inc()
+
+	models := make([]*core.Model, 0, power.NumSubsystems)
+	for sub := range m.fitters {
+		mod, err := m.fitters[sub].Fit()
+		if err != nil {
+			m.rejected++
+			mRetrains.With("rejected").Inc()
+			m.lastAlarm = fmt.Sprintf("refit %s: %v", power.Subsystem(sub), err)
+			return
+		}
+		models = append(models, mod)
+	}
+	challenger, err := core.NewEstimator(models...)
+	if err != nil {
+		m.rejected++
+		mRetrains.With("rejected").Inc()
+		return
+	}
+	win := m.windowDataset()
+	m.refitSeq++
+	fp := validate.Fingerprint(win)
+	parent := versionOf(m.champion)
+	challenger.SetProvenance(&core.Provenance{
+		SchemaVersion: core.ProvenanceSchemaVersion,
+		Version:       fmt.Sprintf("refit-%d-%s", m.refitSeq, fp),
+		Fingerprint:   fp,
+		Envelopes:     core.ComputeEnvelopes(win),
+		Parent:        parent,
+		Reason:        "drift-refit",
+	})
+	if m.cfg.ChallengerHook != nil {
+		challenger = m.cfg.ChallengerHook(challenger)
+	}
+
+	// Shadow gate: metamorphic battery on the live window, then the
+	// better-than-champion residual criterion under the paper bound.
+	if ok, why := validate.ShadowOK(validate.ShadowChecks(challenger, win)); !ok {
+		m.rejected++
+		mRetrains.With("rejected").Inc()
+		m.lastAlarm = "gate: " + why
+		return
+	}
+	chalErr, err := validate.WindowError(challenger, win)
+	if err != nil {
+		m.rejected++
+		mRetrains.With("rejected").Inc()
+		return
+	}
+	champErr, err := validate.WindowError(m.champion, win)
+	if err != nil {
+		m.rejected++
+		mRetrains.With("rejected").Inc()
+		return
+	}
+	if chalErr > m.cfg.ErrBoundPct || chalErr >= champErr {
+		m.rejected++
+		mRetrains.With("rejected").Inc()
+		m.lastAlarm = fmt.Sprintf("gate: challenger %.2f%% vs champion %.2f%% (bound %.1f%%)",
+			chalErr, champErr, m.cfg.ErrBoundPct)
+		return
+	}
+
+	// Promote: push the old champion onto the bounded rollback ring.
+	mRetrains.With("succeeded").Inc()
+	m.ring = append(m.ring, m.champion)
+	if len(m.ring) > m.cfg.RollbackDepth {
+		m.ring = m.ring[len(m.ring)-m.cfg.RollbackDepth:]
+	}
+	old := m.champion
+	m.champion = challenger
+	m.swaps++
+	mSwaps.Inc()
+	m.pending = false
+	m.modelAge = 0
+	m.guardRemaining = m.cfg.GuardWindow
+	m.resid.Reset()
+	m.env.Retarget(championEnvelopes(challenger))
+	id := m.mintTraceID()
+	mSwapErr.ObserveExemplar(chalErr, id.String())
+	m.emit(Event{
+		Kind: "swap", From: versionOf(old), To: versionOf(challenger),
+		Estimator: challenger, Trace: id, WindowErrPct: chalErr,
+		Detail: fmt.Sprintf("challenger %.2f%% beats champion %.2f%%", chalErr, champErr),
+	})
+}
+
+// rollbackLocked reverts to the most recent prior champion after a
+// post-swap alarm. Called with mu held.
+func (m *Manager) rollbackLocked() {
+	if len(m.ring) == 0 {
+		// Nothing to revert to: treat like a fresh drift alarm.
+		m.guardRemaining = 0
+		m.pending = true
+		return
+	}
+	failed := m.champion
+	m.champion = m.ring[len(m.ring)-1]
+	m.ring = m.ring[:len(m.ring)-1]
+	m.rollbacks++
+	mRollbacks.Inc()
+	m.pending = false
+	m.modelAge = 0
+	m.guardRemaining = 0
+	m.sinceAttempt = 0
+	m.resid.Reset()
+	m.env.Retarget(championEnvelopes(m.champion))
+	// The window that promoted the failed challenger is tainted; a
+	// fresh challenger must be fit from fresh data.
+	for sub := range m.fitters {
+		m.fitters[sub].Reset()
+	}
+	m.wHead, m.wLen = 0, 0
+	id := m.mintTraceID()
+	m.emit(Event{
+		Kind: "rollback", From: versionOf(failed), To: versionOf(m.champion),
+		Estimator: m.champion, Trace: id,
+		Detail: "post-swap drift alarm inside guard window",
+	})
+}
+
+func (m *Manager) emit(ev Event) {
+	tracez.Flight().NoteTrace("adapt."+ev.Kind, ev.From+" -> "+ev.To, int64(m.obs), ev.Trace)
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(ev)
+	}
+	for _, fn := range m.subs {
+		fn(ev)
+	}
+}
+
+func versionOf(e *core.Estimator) string {
+	if p := e.Provenance(); p != nil && p.Version != "" {
+		return p.Version
+	}
+	return "unversioned"
+}
+
+// Status is the /driftz snapshot.
+type Status struct {
+	ActiveVersion  string  `json:"active_version"`
+	Observations   uint64  `json:"observations"`
+	ModelAge       uint64  `json:"model_age_observations"`
+	WindowFill     int     `json:"window_fill"`
+	WindowCap      int     `json:"window_cap"`
+	PendingRetrain bool    `json:"pending_retrain"`
+	GuardRemaining int     `json:"guard_remaining"`
+	RollbackDepth  int     `json:"rollback_available"`
+	Alarms         uint64  `json:"drift_alarms"`
+	Retrains       uint64  `json:"retrains_started"`
+	Rejected       uint64  `json:"retrains_rejected"`
+	Swaps          uint64  `json:"swaps"`
+	Rollbacks      uint64  `json:"rollbacks"`
+	Quarantined    uint64  `json:"residuals_quarantined"`
+	LastErrPct     float64 `json:"last_err_pct"`
+	LastAlarm      string  `json:"last_alarm,omitempty"`
+}
+
+// Status returns a consistent snapshot of the adaptation state.
+func (m *Manager) Status() Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Status{
+		ActiveVersion:  versionOf(m.champion),
+		Observations:   m.obs,
+		ModelAge:       m.modelAge,
+		WindowFill:     m.wLen,
+		WindowCap:      len(m.window),
+		PendingRetrain: m.pending,
+		GuardRemaining: m.guardRemaining,
+		RollbackDepth:  len(m.ring),
+		Alarms:         m.alarms,
+		Retrains:       m.retrains,
+		Rejected:       m.rejected,
+		Swaps:          m.swaps,
+		Rollbacks:      m.rollbacks,
+		Quarantined:    m.quarantined + m.resid.Quarantined() + m.env.Quarantined(),
+		LastErrPct:     m.lastErrPct,
+		LastAlarm:      m.lastAlarm,
+	}
+}

@@ -1,0 +1,525 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"trickledown/internal/align"
+	"trickledown/internal/core"
+	"trickledown/internal/iobus"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// sampleAt builds a deterministic 2-CPU sample whose rates sweep with i,
+// mirroring core's test idiom so every production design has variance.
+func sampleAt(i, n int) perfctr.Sample {
+	f := float64(i%n) / float64(n)
+	g := float64((i*37)%n) / float64(n)
+	const cyc = 2.8e9
+	const mcyc = cyc / 1e6
+	active := 0.2 + 0.75*f
+	upc := 0.3 + 2*g
+	buspmc := 200 + 1500*f
+	dmapmc := 100 * g
+	intspmc := 0.1 + 2*f
+	s := perfctr.Sample{
+		TargetSeconds: float64(i + 1),
+		IntervalSec:   1,
+		CPUs:          make([]perfctr.CPUCounts, 2),
+		Ints:          make([][]uint64, iobus.NumVectors),
+	}
+	for v := range s.Ints {
+		s.Ints[v] = make([]uint64, 2)
+	}
+	for c := range s.CPUs {
+		cc := &s.CPUs[c]
+		cc.Cycles = uint64(cyc)
+		cc.HaltedCycles = uint64(cyc * (1 - active))
+		cc.FetchedUops = uint64(cyc * upc)
+		cc.L3LoadMisses = uint64(80 * mcyc)
+		cc.BusTx = uint64(buspmc * mcyc)
+		cc.BusPrefetchTx = uint64(buspmc * mcyc / 10)
+		cc.DMAOther = uint64(dmapmc * mcyc)
+		cc.Uncacheable = uint64(5 * mcyc)
+		cc.TLBMisses = uint64(20 * mcyc)
+		s.Ints[iobus.VecTimer][c] = uint64(intspmc * mcyc / 2)
+		s.Ints[iobus.VecDisk][c] = uint64(intspmc * mcyc / 2)
+	}
+	return s
+}
+
+func sumf(v []float64) float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+func meanf(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return sumf(v) / float64(len(v))
+}
+
+// railsFor synthesizes measured rails from a sample. shift scales the
+// activity-sensitive coefficients — shift 0 is the training regime,
+// larger shifts model a hardware/workload relationship the frozen
+// champion never saw.
+func railsFor(s *perfctr.Sample, shift float64) power.Reading {
+	m := core.ExtractMetrics(s)
+	k := 1 + shift
+	var r power.Reading
+	r[power.SubCPU] = 9.25*float64(m.NumCPUs) + k*26.45*sumf(m.PercentActive) + k*4.31*sumf(m.UopsPerCycle)
+	r[power.SubChipset] = 19.0
+	busTot := m.TotalBusPMC()
+	r[power.SubMemory] = 28 + k*0.018*busTot + 2e-6*busTot*busTot
+	ints := sumf(m.IntsPMC)
+	r[power.SubIO] = 32.7 + k*1.1*ints + 0.04*ints*ints
+	di := sumf(m.DiskIntsPMC)
+	dm := meanf(m.DMAPMC)
+	r[power.SubDisk] = 21.6 + k*2.0*di + 0.05*di*di + 0.002*dm + 1e-6*dm*dm
+	return r
+}
+
+// trainingChampion fits the production estimator on the shift-0 regime.
+func trainingChampion(t *testing.T, n int) *core.Estimator {
+	t.Helper()
+	ds := &align.Dataset{Rows: make([]align.Row, n)}
+	for i := 0; i < n; i++ {
+		s := sampleAt(i, n)
+		ds.Rows[i] = align.Row{Power: railsFor(&s, 0), Counters: s}
+	}
+	est, err := core.TrainEstimator(core.TrainingSet{CPU: ds, Memory: ds, Disk: ds, IO: ds, Chipset: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := "test-corpus"
+	est.SetProvenance(&core.Provenance{
+		SchemaVersion: core.ProvenanceSchemaVersion,
+		Version:       "train-" + fp,
+		Fingerprint:   fp,
+		Envelopes:     core.ComputeEnvelopes(ds),
+		Reason:        "offline-train",
+	})
+	return est
+}
+
+func testConfig(champ *core.Estimator, events *[]Event) Config {
+	return Config{
+		Champion:        champ,
+		Window:          60,
+		MinFill:         30,
+		BaselineErrPct:  5,
+		AlarmBudgetPct:  60,
+		EnvelopeBudgetZ: 1e12, // isolate the residual detector unless a test wants envelopes
+		RollbackDepth:   3,
+		GuardWindow:     25,
+		Cooldown:        10,
+		PhaseThresholdW: 1000, // no phase gating unless a test wants it
+		PhaseSettle:     2,
+		Seed:            7,
+		OnEvent: func(ev Event) {
+			if events != nil {
+				*events = append(*events, ev)
+			}
+		},
+	}
+}
+
+// runDrill streams pre-drift then post-drift observations and returns
+// the manager for inspection.
+func runDrill(t *testing.T, cfg Config, pre, post int, shift float64) *Manager {
+	t.Helper()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 97
+	for i := 0; i < pre; i++ {
+		s := sampleAt(i, n)
+		m.Observe(&s, railsFor(&s, 0))
+	}
+	for i := pre; i < pre+post; i++ {
+		s := sampleAt(i, n)
+		m.Observe(&s, railsFor(&s, shift))
+	}
+	return m
+}
+
+func TestDriftTriggersGuardedSwap(t *testing.T) {
+	champ := trainingChampion(t, 120)
+	var events []Event
+	cfg := testConfig(champ, &events)
+	m := runDrill(t, cfg, 100, 300, 0.4)
+
+	st := m.Status()
+	if st.Alarms == 0 {
+		t.Fatal("no drift alarm on a 40% coefficient shift")
+	}
+	if st.Swaps == 0 {
+		t.Fatalf("no swap after drift: %+v", st)
+	}
+	if st.Rollbacks != 0 {
+		t.Fatalf("unexpected rollback: %+v", st)
+	}
+	if len(events) == 0 || events[0].Kind != "swap" {
+		t.Fatalf("events = %+v", events)
+	}
+	ev := events[0]
+	if ev.From != "train-test-corpus" {
+		t.Errorf("swap From = %q", ev.From)
+	}
+	if ev.To == "" || ev.To == "unversioned" {
+		t.Errorf("swap To = %q", ev.To)
+	}
+	if ev.WindowErrPct <= 0 || ev.WindowErrPct > cfg.ErrBoundPct && cfg.ErrBoundPct > 0 {
+		t.Errorf("swap window err = %v", ev.WindowErrPct)
+	}
+	if ev.Trace.IsZero() {
+		t.Error("swap trace ID is zero")
+	}
+	// The promoted champion is accurate on the drifted regime where the
+	// frozen one is not.
+	const n = 97
+	var adaptiveErr, frozenErr float64
+	for i := 0; i < n; i++ {
+		s := sampleAt(i, n)
+		truth := railsFor(&s, 0.4).Total()
+		adaptiveErr += math.Abs(m.Champion().Estimate(&s).Total()-truth) / truth * 100
+		frozenErr += math.Abs(champ.Estimate(&s).Total()-truth) / truth * 100
+	}
+	adaptiveErr /= n
+	frozenErr /= n
+	if adaptiveErr >= 9 {
+		t.Errorf("adaptive champion err %.2f%% breaches the paper bound", adaptiveErr)
+	}
+	if frozenErr <= 9 {
+		t.Errorf("frozen champion err %.2f%% should breach under this drift", frozenErr)
+	}
+	// Provenance chain: the new champion descends from the old one.
+	p := m.Champion().Provenance()
+	if p == nil || p.Parent != "train-test-corpus" || p.Reason != "drift-refit" {
+		t.Errorf("refit provenance = %+v", p)
+	}
+}
+
+func TestDrillIsDeterministic(t *testing.T) {
+	run := func() (string, Status) {
+		champ := trainingChampion(t, 120)
+		var events []Event
+		m := runDrill(t, testConfig(champ, &events), 100, 300, 0.4)
+		var sig string
+		for _, ev := range events {
+			sig += fmt.Sprintf("%s|%s->%s|%s|%.9f\n", ev.Kind, ev.From, ev.To, ev.Trace.String(), ev.WindowErrPct)
+		}
+		return sig, m.Status()
+	}
+	sig1, st1 := run()
+	sig2, st2 := run()
+	if sig1 != sig2 {
+		t.Errorf("event streams differ:\n%s\nvs\n%s", sig1, sig2)
+	}
+	if st1 != st2 {
+		t.Errorf("status differs: %+v vs %+v", st1, st2)
+	}
+	if sig1 == "" {
+		t.Error("drill produced no events")
+	}
+}
+
+// TestShadowGateRejectsBadChallenger is the negative control: a hook
+// that corrupts every challenger must never let one serve.
+func TestShadowGateRejectsBadChallenger(t *testing.T) {
+	champ := trainingChampion(t, 120)
+	var events []Event
+	cfg := testConfig(champ, &events)
+	cfg.ChallengerHook = func(c *core.Estimator) *core.Estimator {
+		// Negate the CPU response: more activity, less power — exactly
+		// what the metamorphic battery exists to catch.
+		bad := &core.Model{Spec: core.CPUSpec(), Coef: []float64{40, -26, -4}}
+		est, err := core.NewEstimator(bad,
+			c.Model(power.SubChipset), c.Model(power.SubMemory),
+			c.Model(power.SubIO), c.Model(power.SubDisk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.SetProvenance(c.Provenance())
+		return est
+	}
+	m := runDrill(t, cfg, 100, 300, 0.4)
+	st := m.Status()
+	if st.Swaps != 0 {
+		t.Fatalf("corrupted challenger served traffic: %+v", st)
+	}
+	if st.Retrains == 0 || st.Rejected == 0 {
+		t.Fatalf("gate never exercised: %+v", st)
+	}
+	if len(events) != 0 {
+		t.Fatalf("events emitted for rejected challengers: %+v", events)
+	}
+	if got := versionOf(m.Champion()); got != "train-test-corpus" {
+		t.Errorf("champion changed to %q", got)
+	}
+}
+
+// TestRollbackWithinGuardWindow: a drift alarm right after a swap must
+// revert to the prior champion, not chase a new challenger.
+func TestRollbackWithinGuardWindow(t *testing.T) {
+	champ := trainingChampion(t, 120)
+	var events []Event
+	cfg := testConfig(champ, &events)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 97
+	// Champion was trained on shift 0, live data is 0.4: drive drifted
+	// traffic until the manager promotes a challenger, then stop.
+	i := 0
+	for ; i < 600 && len(events) == 0; i++ {
+		s := sampleAt(i, n)
+		m.Observe(&s, railsFor(&s, 0.4))
+	}
+	if len(events) == 0 || events[0].Kind != "swap" {
+		t.Fatalf("no swap to set up rollback: %+v", m.Status())
+	}
+	swapped := events[0].To
+	if g := m.Status().GuardRemaining; g == 0 {
+		t.Fatal("guard window not armed after swap")
+	}
+	// Immediately mutate again, violently, inside the guard window.
+	start := i
+	for ; i < start+cfg.GuardWindow; i++ {
+		s := sampleAt(i, n)
+		m.Observe(&s, railsFor(&s, 2.5))
+		if len(events) >= 2 {
+			break
+		}
+	}
+	if len(events) < 2 || events[1].Kind != "rollback" {
+		t.Fatalf("no rollback inside guard window: events=%+v status=%+v", events, m.Status())
+	}
+	rb := events[1]
+	if rb.From != swapped {
+		t.Errorf("rollback From = %q, want %q", rb.From, swapped)
+	}
+	if rb.To != "train-test-corpus" {
+		t.Errorf("rollback To = %q", rb.To)
+	}
+	st := m.Status()
+	if st.Rollbacks != 1 {
+		t.Errorf("rollbacks = %d", st.Rollbacks)
+	}
+	if st.WindowFill != 0 && st.WindowFill >= cfg.Window {
+		t.Errorf("tainted window not reset: fill=%d", st.WindowFill)
+	}
+	// Service contract: the restored champion still serves finite
+	// estimates.
+	s := sampleAt(3, n)
+	r := m.Champion().Estimate(&s)
+	for sub, v := range r {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("rail %s non-finite after rollback", power.Subsystem(sub))
+		}
+	}
+}
+
+// TestPhaseGateBlocksRetrainDuringTransitions: while power oscillates
+// across the phase threshold every sample, a pending retrain must wait.
+func TestPhaseGateBlocksRetrainDuringTransitions(t *testing.T) {
+	champ := trainingChampion(t, 120)
+	var events []Event
+	cfg := testConfig(champ, &events)
+	// The synthetic sweep carries ~25 W of sample-to-sample structure, so
+	// the band must sit above that for a "steady" phase to exist at all;
+	// the injected square wave then has to clear the band on every flip.
+	cfg.PhaseThresholdW = 80
+	cfg.PhaseSettle = 15
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 97
+	// Drifted regime with an alternating +400 W square wave on top: every
+	// sample breaks the phase, so no phase ever settles 15 samples.
+	for i := 0; i < 300; i++ {
+		s := sampleAt(i, n)
+		r := railsFor(&s, 0.4)
+		if i%2 == 0 {
+			r[power.SubCPU] += 400
+		}
+		m.Observe(&s, r)
+	}
+	st := m.Status()
+	if !st.PendingRetrain {
+		t.Fatalf("drift not pending: %+v", st)
+	}
+	if st.Retrains != 0 || st.Swaps != 0 {
+		t.Fatalf("retrain ran mid-transition: %+v", st)
+	}
+	// Once the workload steadies, the held-back retrain proceeds.
+	for i := 300; i < 700 && m.Status().Swaps == 0; i++ {
+		s := sampleAt(i, n)
+		m.Observe(&s, railsFor(&s, 0.4))
+	}
+	if m.Status().Swaps == 0 {
+		t.Fatalf("retrain never ran after phases settled: %+v", m.Status())
+	}
+}
+
+// TestNonFiniteResidualsQuarantined: hostile rails must be counted and
+// dropped before they can reach detector or fitter state.
+func TestNonFiniteResidualsQuarantined(t *testing.T) {
+	champ := trainingChampion(t, 120)
+	cfg := testConfig(champ, nil)
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 97
+	for i := 0; i < 20; i++ {
+		s := sampleAt(i, n)
+		m.Observe(&s, railsFor(&s, 0))
+	}
+	base := m.Status()
+	hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0}
+	for i, h := range hostile {
+		s := sampleAt(i, n)
+		var r power.Reading
+		r[power.SubCPU] = h
+		m.Observe(&s, r)
+	}
+	st := m.Status()
+	if st.Quarantined != base.Quarantined+uint64(len(hostile)) {
+		t.Errorf("quarantined %d, want %d", st.Quarantined, base.Quarantined+uint64(len(hostile)))
+	}
+	if st.WindowFill != base.WindowFill {
+		t.Errorf("hostile rows entered the window: %d vs %d", st.WindowFill, base.WindowFill)
+	}
+	if st.Alarms != 0 || st.PendingRetrain {
+		t.Errorf("hostile rows raised an alarm: %+v", st)
+	}
+	// Clean traffic still estimates finitely afterwards.
+	s := sampleAt(5, n)
+	if tot := m.Champion().Estimate(&s).Total(); math.IsNaN(tot) || math.IsInf(tot, 0) {
+		t.Errorf("estimate poisoned: %v", tot)
+	}
+}
+
+func TestPageHinkleyEdges(t *testing.T) {
+	if _, err := NewPageHinkley(-1, 10); err == nil {
+		t.Error("negative delta accepted")
+	}
+	if _, err := NewPageHinkley(1, 0); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	clean, _ := NewPageHinkley(2, 20)
+	dirty, _ := NewPageHinkley(2, 20)
+	seq := []float64{1, 2, 1.5, 1, 2, 30, 30, 30, 30, 30, 30}
+	var cleanAlarms, dirtyAlarms int
+	for _, x := range seq {
+		if clean.Observe(x) {
+			cleanAlarms++
+		}
+		// Interleave hostility into the dirty detector.
+		dirty.Observe(math.NaN())
+		dirty.Observe(math.Inf(1))
+		if dirty.Observe(x) {
+			dirtyAlarms++
+		}
+	}
+	if cleanAlarms == 0 {
+		t.Error("sustained 30s never alarmed")
+	}
+	if cleanAlarms != dirtyAlarms {
+		t.Errorf("NaN interleave changed behavior: %d vs %d alarms", cleanAlarms, dirtyAlarms)
+	}
+	if dirty.Quarantined() != uint64(2*len(seq)) {
+		t.Errorf("quarantined = %d", dirty.Quarantined())
+	}
+	dirty.Reset()
+	if dirty.Score() != 0 {
+		t.Errorf("score after reset = %v", dirty.Score())
+	}
+	if dirty.Quarantined() != uint64(2*len(seq)) {
+		t.Error("reset cleared the lifetime quarantine count")
+	}
+}
+
+func TestEnvelopeCUSUMEdges(t *testing.T) {
+	envs := []core.MetricEnvelope{
+		{Name: "a", Mean: 10, Std: 1},
+		{Name: "dead", Mean: 5, Std: 0}, // uninformative
+	}
+	d, err := NewEnvelopeCUSUM(envs, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-envelope traffic never alarms.
+	for i := 0; i < 100; i++ {
+		if alarm, _ := d.Observe([]float64{10.5, 999}); alarm {
+			t.Fatal("alarm on in-envelope data")
+		}
+	}
+	// Non-finite and wrong-width inputs quarantine without alarming.
+	d.Observe([]float64{math.NaN(), 1})
+	d.Observe([]float64{1})
+	if d.Quarantined() != 2 {
+		t.Errorf("quarantined = %d", d.Quarantined())
+	}
+	// A sustained 5-sigma excursion on the live metric alarms, naming it.
+	var fired string
+	for i := 0; i < 10; i++ {
+		if alarm, name := d.Observe([]float64{15, 0}); alarm {
+			fired = name
+			break
+		}
+	}
+	if fired != "a" {
+		t.Errorf("alarm metric = %q", fired)
+	}
+	// Empty envelope set: silent forever.
+	e, _ := NewEnvelopeCUSUM(nil, 1, 10)
+	if alarm, _ := e.Observe([]float64{1e18}); alarm {
+		t.Error("nil-envelope detector alarmed")
+	}
+}
+
+// FuzzPageHinkley feeds hostile residual sequences; the detector must
+// never panic, never go non-finite, and must account for every input as
+// either accepted or quarantined.
+func FuzzPageHinkley(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0})                               // +Inf
+	f.Add([]byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1, 0xff, 0xf0, 0, 0, 0, 0, 0, 0}) // NaN, -Inf
+	f.Add([]byte{0x40, 0x59, 0, 0, 0, 0, 0, 0, 0x40, 0x59, 0, 0, 0, 0, 0, 0}) // 100, 100
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewPageHinkley(5, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var fed, accepted uint64
+		for off := 0; off+8 <= len(data); off += 8 {
+			var bits uint64
+			for b := 0; b < 8; b++ {
+				bits = bits<<8 | uint64(data[off+b])
+			}
+			x := math.Float64frombits(bits)
+			fed++
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				accepted++
+			}
+			d.Observe(x)
+			if math.IsNaN(d.Score()) || math.IsInf(d.Score(), 0) {
+				t.Fatalf("detector state non-finite after %v", x)
+			}
+		}
+		if d.Quarantined() != fed-accepted {
+			t.Fatalf("quarantined %d, want %d", d.Quarantined(), fed-accepted)
+		}
+	})
+}

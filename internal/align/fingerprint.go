@@ -1,0 +1,64 @@
+package align
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint digests an aligned dataset — every power reading, every
+// counter, every timestamp — into a short stable hex string. Two runs of
+// the same seed must fingerprint identically; any engine change that
+// perturbs a single bit of a fixed-seed trace shows up as drift against
+// the golden corpus, which is exactly the tripwire an accuracy gate
+// needs (a model can stay "accurate" by accident while the data under it
+// silently changed). It lives here, next to Dataset, so both the
+// validation gate and the training provenance stamp can use it without
+// an import cycle.
+func Fingerprint(ds *Dataset) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(u uint64) {
+		binary.LittleEndian.PutUint64(buf[:], u)
+		h.Write(buf[:])
+	}
+	wf := func(f float64) { wu(math.Float64bits(f)) }
+	wu(uint64(ds.Len()))
+	for i := range ds.Rows {
+		row := &ds.Rows[i]
+		for _, p := range row.Power {
+			wf(p)
+		}
+		s := &row.Counters
+		wf(s.TargetSeconds)
+		wf(s.IntervalSec)
+		wu(uint64(len(s.CPUs)))
+		for c := range s.CPUs {
+			cc := &s.CPUs[c]
+			wu(cc.Cycles)
+			wu(cc.HaltedCycles)
+			wu(cc.FetchedUops)
+			wu(cc.L3LoadMisses)
+			wu(cc.L3Misses)
+			wu(cc.TLBMisses)
+			wu(cc.BusTx)
+			wu(cc.BusPrefetchTx)
+			wu(cc.DMAOther)
+			wu(cc.Uncacheable)
+		}
+		wu(uint64(len(s.Ints)))
+		for _, vec := range s.Ints {
+			for _, n := range vec {
+				wu(n)
+			}
+		}
+		for _, b := range s.OSBusySec {
+			wf(b)
+		}
+		for _, b := range s.OSThreadBusySec {
+			wf(b)
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -13,7 +13,16 @@ import (
 // all five rails plus the total.
 type Estimator struct {
 	models [power.NumSubsystems]*Model
+	prov   *Provenance
 }
+
+// Provenance returns the estimator's fit provenance, or nil when the
+// coefficients were assembled without one (hand-built in tests, or
+// loaded from a v1 model file).
+func (e *Estimator) Provenance() *Provenance { return e.prov }
+
+// SetProvenance attaches fit provenance to the estimator.
+func (e *Estimator) SetProvenance(p *Provenance) { e.prov = p }
 
 // NewEstimator builds an estimator from fitted models. Every subsystem
 // must be covered exactly once.

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trickledown/internal/align"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+)
+
+// cpuRail synthesizes an exact Eq.1-style CPU rail for online tests.
+func cpuRail(i int, s *perfctr.Sample) power.Reading {
+	m := ExtractMetrics(s)
+	var r power.Reading
+	r[power.SubCPU] = 9.25*float64(m.NumCPUs) + 26.45*sum(m.PercentActive) + 4.31*sum(m.UopsPerCycle)
+	// A touch of deterministic structure batch OLS must also absorb, so
+	// the fit is not trivially exact and coefficient comparison is
+	// meaningful.
+	r[power.SubCPU] += 0.3 * math.Sin(float64(i))
+	return r
+}
+
+// feed pushes dataset rows into the fitter, failing the test on any
+// unexpected quarantine.
+func feed(t *testing.T, f *OnlineFitter, ds *align.Dataset) {
+	t.Helper()
+	for i := range ds.Rows {
+		row := &ds.Rows[i]
+		if !f.Observe(ExtractMetrics(&row.Counters), row.Power[f.Spec().Sub]) {
+			t.Fatalf("row %d quarantined unexpectedly", i)
+		}
+	}
+}
+
+// TestOnlineFitterMatchesBatchOnStaticWindow is the exact-equivalence
+// contract: a window that has never evicted must reproduce batch Train
+// coefficients within 1e-9 (they are in fact bit-identical, since the
+// accumulation order matches OLS exactly).
+func TestOnlineFitterMatchesBatchOnStaticWindow(t *testing.T) {
+	for _, spec := range []ModelSpec{CPUSpec(), MemBusSpec(), DiskSpec(), IOSpec(), ChipsetSpec()} {
+		ds := synthDataset(120, cpuRail)
+		// Reuse the CPU rail's value for every subsystem so each spec has
+		// a live response to fit.
+		for i := range ds.Rows {
+			v := ds.Rows[i].Power[power.SubCPU]
+			for s := range ds.Rows[i].Power {
+				ds.Rows[i].Power[s] = v
+			}
+		}
+		batch, err := Train(spec, ds)
+		if err != nil {
+			t.Fatalf("%s: batch train: %v", spec.Name, err)
+		}
+		f, err := NewOnlineFitter(spec, ds.Len())
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		feed(t, f, ds)
+		online, err := f.Fit()
+		if err != nil {
+			t.Fatalf("%s: online fit: %v", spec.Name, err)
+		}
+		if len(online.Coef) != len(batch.Coef) {
+			t.Fatalf("%s: coef width %d vs %d", spec.Name, len(online.Coef), len(batch.Coef))
+		}
+		for i := range batch.Coef {
+			if d := math.Abs(online.Coef[i] - batch.Coef[i]); d > 1e-9 {
+				t.Errorf("%s: coef[%d] online %v vs batch %v (|Δ|=%g)",
+					spec.Name, i, online.Coef[i], batch.Coef[i], d)
+			}
+		}
+		if online.Fit == nil || online.Fit.N != ds.Len() {
+			t.Errorf("%s: fit diagnostics N = %v", spec.Name, online.Fit)
+		}
+		if math.Abs(online.Fit.R2-batch.Fit.R2) > 1e-9 {
+			t.Errorf("%s: R2 online %v vs batch %v", spec.Name, online.Fit.R2, batch.Fit.R2)
+		}
+	}
+}
+
+// TestOnlineFitterSlidingWindowTracksTail verifies that after eviction
+// the fitter matches a batch fit over exactly the retained tail, within
+// the drift tolerance the downdate/recompute policy guarantees.
+func TestOnlineFitterSlidingWindowTracksTail(t *testing.T) {
+	const total, window = 600, 100
+	ds := synthDataset(total, cpuRail)
+	f, err := NewOnlineFitter(CPUSpec(), window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, f, ds)
+	if f.Len() != window {
+		t.Fatalf("window length %d, want %d", f.Len(), window)
+	}
+	if f.Seen() != total {
+		t.Fatalf("seen %d, want %d", f.Seen(), total)
+	}
+	tail := &align.Dataset{Rows: ds.Rows[total-window:]}
+	batch, err := Train(CPUSpec(), tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := f.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range batch.Coef {
+		if d := math.Abs(online.Coef[i] - batch.Coef[i]); d > 1e-6 {
+			t.Errorf("coef[%d] online %v vs tail batch %v (|Δ|=%g)",
+				i, online.Coef[i], batch.Coef[i], d)
+		}
+	}
+}
+
+// TestOnlineFitterQuarantinesNonFinite: hostile observations must be
+// counted and dropped without perturbing the eventual fit.
+func TestOnlineFitterQuarantinesNonFinite(t *testing.T) {
+	ds := synthDataset(80, cpuRail)
+	clean, err := NewOnlineFitter(CPUSpec(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := NewOnlineFitter(CPUSpec(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, clean, ds)
+	hostile := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	h := 0
+	for i := range ds.Rows {
+		row := &ds.Rows[i]
+		m := ExtractMetrics(&row.Counters)
+		dirty.Observe(m, row.Power[power.SubCPU])
+		if ok := dirty.Observe(m, hostile[h%len(hostile)]); ok {
+			t.Fatalf("non-finite response accepted at row %d", i)
+		}
+		h++
+	}
+	if got := dirty.Quarantined(); got != uint64(len(ds.Rows)) {
+		t.Fatalf("quarantined %d, want %d", got, len(ds.Rows))
+	}
+	if dirty.Seen() != clean.Seen() {
+		t.Fatalf("seen %d vs clean %d", dirty.Seen(), clean.Seen())
+	}
+	a, err := clean.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dirty.Fit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coef {
+		if a.Coef[i] != b.Coef[i] {
+			t.Errorf("coef[%d] perturbed by quarantined rows: %v vs %v", i, a.Coef[i], b.Coef[i])
+		}
+	}
+	for i := range b.Coef {
+		if math.IsNaN(b.Coef[i]) || math.IsInf(b.Coef[i], 0) {
+			t.Errorf("coef[%d] non-finite after hostile stream: %v", i, b.Coef[i])
+		}
+	}
+	// A non-finite design term is quarantined too.
+	bad := ExtractMetrics(&ds.Rows[0].Counters)
+	bad.PercentActive[0] = math.NaN()
+	if dirty.Observe(bad, 100) {
+		t.Error("non-finite design term accepted")
+	}
+}
+
+// TestOnlineFitterReset drops the window but keeps lifetime counters.
+func TestOnlineFitterReset(t *testing.T) {
+	ds := synthDataset(40, cpuRail)
+	f, err := NewOnlineFitter(CPUSpec(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(t, f, ds)
+	f.Reset()
+	if f.Len() != 0 {
+		t.Fatalf("Len after reset = %d", f.Len())
+	}
+	if f.Seen() != uint64(len(ds.Rows)) {
+		t.Fatalf("Seen after reset = %d", f.Seen())
+	}
+	if _, err := f.Fit(); err == nil {
+		t.Fatal("fit on empty window succeeded")
+	}
+	// Refilling after reset fits cleanly again.
+	feed(t, f, ds)
+	if _, err := f.Fit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineFitterErrors(t *testing.T) {
+	if _, err := NewOnlineFitter(CPUSpec(), 2); err == nil {
+		t.Error("window below design width accepted")
+	}
+	f, err := NewOnlineFitter(CPUSpec(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Fit(); err == nil {
+		t.Error("fit with zero observations succeeded")
+	}
+	ds := synthDataset(2, cpuRail)
+	feed(t, f, ds)
+	if _, err := f.Fit(); err == nil {
+		t.Error("underdetermined fit succeeded")
+	}
+}

@@ -58,16 +58,23 @@ type modelJSON struct {
 
 // estimatorJSON is the persisted form of a full estimator.
 type estimatorJSON struct {
-	Format string      `json:"format"`
-	Models []modelJSON `json:"models"`
+	Format     string      `json:"format"`
+	Provenance *Provenance `json:"provenance,omitempty"`
+	Models     []modelJSON `json:"models"`
 }
 
-// formatName versions the wire format.
-const formatName = "trickledown-models/1"
+// The wire format is versioned: v1 carried only coefficients, v2 adds
+// the provenance block. Save always writes the current version; load
+// accepts both so model files shipped by older builds keep working.
+const (
+	formatName   = "trickledown-models/2"
+	formatNameV1 = "trickledown-models/1"
+)
 
-// Save writes the estimator's five fitted models as JSON.
+// Save writes the estimator's five fitted models as JSON, with fit
+// provenance when the estimator carries one.
 func (e *Estimator) Save(w io.Writer) error {
-	out := estimatorJSON{Format: formatName}
+	out := estimatorJSON{Format: formatName, Provenance: e.prov}
 	for _, s := range power.Subsystems() {
 		m := e.Model(s)
 		mj := modelJSON{Spec: m.Spec.Name, Sub: s.String(), Coef: m.Coef}
@@ -88,7 +95,7 @@ func LoadEstimator(r io.Reader) (*Estimator, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decoding models: %w", err)
 	}
-	if in.Format != formatName {
+	if in.Format != formatName && in.Format != formatNameV1 {
 		return nil, fmt.Errorf("core: unsupported model format %q", in.Format)
 	}
 	models := make([]*Model, 0, len(in.Models))
@@ -108,7 +115,12 @@ func LoadEstimator(r io.Reader) (*Estimator, error) {
 		}
 		models = append(models, m)
 	}
-	return NewEstimator(models...)
+	est, err := NewEstimator(models...)
+	if err != nil {
+		return nil, err
+	}
+	est.SetProvenance(in.Provenance)
+	return est, nil
 }
 
 // designWidth probes a spec's design-row width with an empty sample.

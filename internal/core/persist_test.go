@@ -53,6 +53,54 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSaveLoadProvenance(t *testing.T) {
+	est := trainedEstimator(t)
+	est.SetProvenance(&Provenance{
+		SchemaVersion: ProvenanceSchemaVersion,
+		Version:       "train-deadbeef00000000",
+		TrainedAt:     "2026-08-08T00:00:00Z",
+		Fingerprint:   "deadbeef00000000",
+		Envelopes:     []MetricEnvelope{{Name: "percent_active", Mean: 1.2, Std: 0.3}},
+		Reason:        "offline-train",
+	})
+	var buf bytes.Buffer
+	if err := est.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"trickledown-models/2"`) {
+		t.Error("Save did not emit the v2 format header")
+	}
+	loaded, err := LoadEstimator(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := loaded.Provenance()
+	if p == nil {
+		t.Fatal("provenance lost in round trip")
+	}
+	if p.Version != "train-deadbeef00000000" || p.Fingerprint != "deadbeef00000000" ||
+		p.Reason != "offline-train" || len(p.Envelopes) != 1 || p.Envelopes[0].Std != 0.3 {
+		t.Errorf("provenance mangled: %+v", p)
+	}
+	if !strings.Contains(p.String(), "train-deadbeef00000000") {
+		t.Errorf("String() = %q", p.String())
+	}
+
+	// A v1 file (no provenance block) still loads, with nil provenance.
+	var plain bytes.Buffer
+	if err := trainedEstimator(t).Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Replace(plain.String(), "trickledown-models/2", "trickledown-models/1", 1)
+	legacy, err := LoadEstimator(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 load: %v", err)
+	}
+	if legacy.Provenance() != nil {
+		t.Error("v1 file grew provenance from nowhere")
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
 	cases := map[string]string{
 		"not json":     "pfff",

@@ -279,9 +279,27 @@ func (r *Runner) trainEstimator() (*core.Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.TrainEstimator(core.TrainingSet{
+	est, err := core.TrainEstimator(core.TrainingSet{
 		CPU: gcc, Memory: mcf, Disk: dl, IO: dl, Chipset: gcc,
 	})
+	if err != nil {
+		return nil, err
+	}
+	// Stamp fit provenance: fingerprint and rate envelopes over the full
+	// training corpus, so a serving process can report which data the
+	// live coefficients descend from and the adapt layer can detect
+	// workload-mix drift without ground-truth rails.
+	all := align.Concat(gcc, mcf, dl)
+	fp := align.Fingerprint(all)
+	est.SetProvenance(&core.Provenance{
+		SchemaVersion: core.ProvenanceSchemaVersion,
+		Version:       "train-" + fp,
+		TrainedAt:     time.Now().UTC().Format(time.RFC3339),
+		Fingerprint:   fp,
+		Envelopes:     core.ComputeEnvelopes(all),
+		Reason:        "offline-train",
+	})
+	return est, nil
 }
 
 // MemL3Model trains (once) the Equation 2 cache-miss memory model on

@@ -68,8 +68,23 @@ const (
 	// WorkerPanic panics the node's stepping goroutine at Start seconds,
 	// exercising panic recovery in the worker pool above.
 	WorkerPanic
+	// WorkloadDrift remixes the targeted CPU's counters toward a
+	// memory-bound regime while the measured rails stay put: reported
+	// unhalted cycles and fetched uops shrink and bus transactions grow
+	// by Magnitude (a fraction in [0,1)), ramping in linearly over
+	// workloadDriftRampSec from Start. The counter→power relationship
+	// the models were fit on is thereby invalidated without any sensor
+	// fault — the workload-mix change the self-healing layer
+	// (internal/adapt) must detect and retrain through. Deterministic in
+	// time, so drift drills replay bit for bit.
+	WorkloadDrift
 	numKinds
 )
+
+// workloadDriftRampSec is how long a WorkloadDrift takes to reach full
+// Magnitude: gradual enough to look like a real mix shift, fast enough
+// for short drills.
+const workloadDriftRampSec = 20.0
 
 var kindNames = [...]string{
 	DAQStuck:        "daq_stuck",
@@ -80,6 +95,7 @@ var kindNames = [...]string{
 	CounterSaturate: "counter_saturate",
 	NodeCrash:       "node_crash",
 	WorkerPanic:     "worker_panic",
+	WorkloadDrift:   "workload_drift",
 }
 
 // String returns the kind's schedule mnemonic.
@@ -144,6 +160,11 @@ func (p *Plan) Validate() error {
 		if s.Kind == SyncDrop || s.Kind == CounterGlitch {
 			if s.Magnitude < 0 || s.Magnitude > 1 {
 				return fmt.Errorf("faults: spec %d (%s): probability %g outside [0,1]", i, s.Kind, s.Magnitude)
+			}
+		}
+		if s.Kind == WorkloadDrift {
+			if s.Magnitude < 0 || s.Magnitude >= 1 {
+				return fmt.Errorf("faults: spec %d (%s): drift fraction %g outside [0,1)", i, s.Kind, s.Magnitude)
 			}
 		}
 	}
@@ -310,6 +331,22 @@ func (in *Injector) PerturbCounts(t float64, cpu int, c *perfctr.CPUCounts) {
 			if !hit {
 				continue
 			}
+		case WorkloadDrift:
+			r := (t - s.Start) / workloadDriftRampSec
+			if r <= 0 {
+				continue
+			}
+			if r > 1 {
+				r = 1
+			}
+			m := s.Magnitude * r
+			if c.Cycles > c.HaltedCycles {
+				active := float64(c.Cycles - c.HaltedCycles)
+				c.HaltedCycles = c.Cycles - uint64(active*(1-m))
+			}
+			c.FetchedUops = uint64(float64(c.FetchedUops) * (1 - m))
+			c.BusTx = uint64(float64(c.BusTx) * (1 + m))
+			c.BusPrefetchTx = uint64(float64(c.BusPrefetchTx) * (1 + m))
 		default:
 			continue
 		}

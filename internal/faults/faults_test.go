@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"trickledown/internal/machine"
+	"trickledown/internal/perfctr"
 	"trickledown/internal/power"
 	"trickledown/internal/workload"
 )
@@ -264,5 +265,53 @@ func TestNodeCrashAndWorkerPanic(t *testing.T) {
 	}()
 	if panicked == nil {
 		t.Fatal("WorkerPanic spec did not panic the run")
+	}
+}
+
+// TestWorkloadDriftRemixesCounters: the drift fault must leave the
+// pre-Start regime untouched, ramp in deterministically, and push the
+// counter mix toward memory-bound (fewer uops, more bus traffic).
+func TestWorkloadDriftRemixesCounters(t *testing.T) {
+	p := &Plan{Seed: 11, Specs: []Spec{
+		{Kind: WorkloadDrift, CPU: -1, Start: 10, Magnitude: 0.5},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Plan{Specs: []Spec{{Kind: WorkloadDrift, Magnitude: 1.0}}}).Validate(); err == nil {
+		t.Error("drift fraction 1.0 accepted")
+	}
+	in := p.Injector("")
+	base := perfctr.CPUCounts{FetchedUops: 1_000_000, BusTx: 200_000, BusPrefetchTx: 40_000, Cycles: 2_800_000}
+
+	before := base
+	in.PerturbCounts(5, 0, &before)
+	if before != base {
+		t.Errorf("counters perturbed before Start: %+v", before)
+	}
+	mid := base
+	in.PerturbCounts(20, 0, &mid) // ramp r = 0.5, m = 0.25
+	full := base
+	in.PerturbCounts(100, 0, &full) // ramp saturated, m = 0.5
+	if mid.FetchedUops >= base.FetchedUops || full.FetchedUops >= mid.FetchedUops {
+		t.Errorf("uops did not shrink monotonically: %d -> %d -> %d",
+			base.FetchedUops, mid.FetchedUops, full.FetchedUops)
+	}
+	if mid.BusTx <= base.BusTx || full.BusTx <= mid.BusTx {
+		t.Errorf("bus tx did not grow monotonically: %d -> %d -> %d",
+			base.BusTx, mid.BusTx, full.BusTx)
+	}
+	if full.FetchedUops != uint64(float64(base.FetchedUops)*0.5) ||
+		full.BusTx != uint64(float64(base.BusTx)*1.5) {
+		t.Errorf("saturated drift off target: %+v", full)
+	}
+	if full.Cycles != base.Cycles {
+		t.Errorf("drift touched cycles: %d", full.Cycles)
+	}
+	// Deterministic: a second injector replays bit for bit.
+	again := base
+	p.Injector("").PerturbCounts(20, 0, &again)
+	if again != mid {
+		t.Errorf("drift not deterministic: %+v vs %+v", again, mid)
 	}
 }

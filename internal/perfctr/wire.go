@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"trickledown/internal/power"
 )
 
 // Wire format for shipping counter samples off the sampled box to a
@@ -41,6 +43,17 @@ const extLen = 4 + 1 + 16
 // extFlagSampled marks the batch as head-sampled at the producer: the
 // server records a full event timeline for it.
 const extFlagSampled = 0x01
+
+// railsMagic introduces the optional trailing measured-rails extension:
+// per-subsystem ground-truth power for every sample in the batch, from
+// nodes that carry calibration sensors. The adapt layer uses these to
+// compute live residuals; uninstrumented nodes simply omit the block.
+//
+//	rails := magic "TDP1" | u32 count | count × NumSubsystems f64
+//
+// count must equal the batch's sample count — a mismatch is a framing
+// bug, not partial data.
+var railsMagic = [4]byte{'T', 'D', 'P', '1'}
 
 // TraceExt is the optional per-batch trace context carried after the
 // samples. The producer mints the 128-bit ID and decides sampling so
@@ -93,20 +106,38 @@ func EncodeBatch(buf []byte, node string, samples []Sample) ([]byte, error) {
 // ext produces output byte-identical to EncodeBatch, so callers can
 // thread the extension unconditionally.
 func EncodeBatchExt(buf []byte, node string, samples []Sample, ext TraceExt) ([]byte, error) {
+	return EncodeBatchFull(buf, node, samples, ext, nil)
+}
+
+// EncodeBatchFull encodes like EncodeBatchExt and, when rails is
+// non-nil, appends the TDP1 measured-rails extension. rails must carry
+// exactly one Reading per sample.
+func EncodeBatchFull(buf []byte, node string, samples []Sample, ext TraceExt, rails []power.Reading) ([]byte, error) {
+	if rails != nil && len(rails) != len(samples) {
+		return nil, fmt.Errorf("perfctr: %d rails readings for %d samples", len(rails), len(samples))
+	}
 	buf, err := EncodeBatch(buf, node, samples)
 	if err != nil {
 		return nil, err
 	}
-	if ext.IsZero() {
-		return buf, nil
+	if !ext.IsZero() {
+		buf = append(buf, extMagic[:]...)
+		var flags byte
+		if ext.Sampled {
+			flags |= extFlagSampled
+		}
+		buf = append(buf, flags)
+		buf = append(buf, ext.ID[:]...)
 	}
-	buf = append(buf, extMagic[:]...)
-	var flags byte
-	if ext.Sampled {
-		flags |= extFlagSampled
+	if rails != nil {
+		buf = append(buf, railsMagic[:]...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rails)))
+		for i := range rails {
+			for s := 0; s < power.NumSubsystems; s++ {
+				buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(rails[i][s]))
+			}
+		}
 	}
-	buf = append(buf, flags)
-	buf = append(buf, ext.ID[:]...)
 	return buf, nil
 }
 
@@ -220,66 +251,123 @@ func DecodeBatch(buf []byte) (node string, samples []Sample, err error) {
 }
 
 // DecodeBatchExt parses one wire batch plus its optional TDX1
-// trace-context extension (ext is zero when absent). Every length
-// prefix is validated against both the wire limits and the bytes
-// actually present before allocation, and the per-sample timestamps
-// must be finite (a NaN interval would poison the per-cycle
-// normalization downstream). Trailing bytes that are not a well-formed
-// extension are rejected: a length mismatch means a framing bug, not
-// data.
+// trace-context extension (ext is zero when absent); a trailing TDP1
+// rails extension is accepted and discarded. Callers that want the
+// rails use DecodeBatchFull.
 func DecodeBatchExt(buf []byte) (node string, samples []Sample, ext TraceExt, err error) {
+	node, samples, ext, _, err = DecodeBatchFull(buf)
+	return node, samples, ext, err
+}
+
+// DecodeBatchFull parses one wire batch plus every optional trailing
+// extension: the TDX1 trace context (ext is zero when absent) and the
+// TDP1 measured rails (rails is nil when absent). Every length prefix
+// is validated against both the wire limits and the bytes actually
+// present before allocation, and the per-sample timestamps must be
+// finite (a NaN interval would poison the per-cycle normalization
+// downstream). Trailing bytes that are not a well-formed extension are
+// rejected: a length mismatch means a framing bug, not data.
+func DecodeBatchFull(buf []byte) (node string, samples []Sample, ext TraceExt, rails []power.Reading, err error) {
 	r := &wireReader{buf: buf}
 	if err := r.need(4); err != nil {
-		return "", nil, TraceExt{}, err
+		return "", nil, TraceExt{}, nil, err
 	}
 	if [4]byte(r.buf[:4]) != wireMagic {
-		return "", nil, TraceExt{}, fmt.Errorf("perfctr: bad wire magic %q", r.buf[:4])
+		return "", nil, TraceExt{}, nil, fmt.Errorf("perfctr: bad wire magic %q", r.buf[:4])
 	}
 	r.off = 4
 	nodeLen, err := r.u16()
 	if err != nil {
-		return "", nil, TraceExt{}, err
+		return "", nil, TraceExt{}, nil, err
 	}
 	if nodeLen > maxWireNode {
-		return "", nil, TraceExt{}, fmt.Errorf("perfctr: node name %d bytes exceeds wire limit %d", nodeLen, maxWireNode)
+		return "", nil, TraceExt{}, nil, fmt.Errorf("perfctr: node name %d bytes exceeds wire limit %d", nodeLen, maxWireNode)
 	}
 	if err := r.need(nodeLen); err != nil {
-		return "", nil, TraceExt{}, err
+		return "", nil, TraceExt{}, nil, err
 	}
 	node = string(r.buf[r.off : r.off+nodeLen])
 	r.off += nodeLen
 	count, err := r.u32()
 	if err != nil {
-		return "", nil, TraceExt{}, err
+		return "", nil, TraceExt{}, nil, err
 	}
 	if count > maxWireSamples {
-		return "", nil, TraceExt{}, fmt.Errorf("perfctr: batch of %d samples exceeds wire limit %d", count, maxWireSamples)
+		return "", nil, TraceExt{}, nil, fmt.Errorf("perfctr: batch of %d samples exceeds wire limit %d", count, maxWireSamples)
 	}
 	// A sample is at least 2 f64 + 4 u16 counts: cheap sanity before the
 	// count-sized allocation.
 	if err := r.need(count * 24); err != nil {
-		return "", nil, TraceExt{}, fmt.Errorf("perfctr: %d-sample batch larger than payload: %w", count, err)
+		return "", nil, TraceExt{}, nil, fmt.Errorf("perfctr: %d-sample batch larger than payload: %w", count, err)
 	}
 	samples = make([]Sample, count)
 	for i := range samples {
 		if err := decodeSample(r, &samples[i]); err != nil {
-			return "", nil, TraceExt{}, fmt.Errorf("perfctr: sample %d: %w", i, err)
+			return "", nil, TraceExt{}, nil, fmt.Errorf("perfctr: sample %d: %w", i, err)
 		}
 	}
-	switch rest := len(buf) - r.off; {
-	case rest == 0:
-		// No extension: the common pre-tracing batch.
-	case rest == extLen && [4]byte(r.buf[r.off:r.off+4]) == extMagic:
-		flags := r.buf[r.off+4]
-		if flags&^extFlagSampled != 0 {
-			return "", nil, TraceExt{}, fmt.Errorf("perfctr: unknown trace extension flags %#02x", flags)
-		}
-		copy(ext.ID[:], r.buf[r.off+5:r.off+extLen])
-		ext.Sampled = flags&extFlagSampled != 0
-	default:
-		return "", nil, TraceExt{}, fmt.Errorf("perfctr: %d trailing bytes after wire batch", rest)
+	if ext, rails, err = decodeExtensions(r, len(samples)); err != nil {
+		return "", nil, TraceExt{}, nil, err
 	}
-	return node, samples, ext, nil
+	return node, samples, ext, rails, nil
+}
+
+// decodeExtensions walks the trailing extension blocks (TDX1 trace
+// context, TDP1 measured rails) in any order. Unknown magic or a
+// duplicated block is a framing error — the format versions by magic,
+// so silently skipping bytes would hide producer bugs.
+func decodeExtensions(r *wireReader, nSamples int) (ext TraceExt, rails []power.Reading, err error) {
+	seenExt, seenRails := false, false
+	for r.off < len(r.buf) {
+		if err := r.need(4); err != nil {
+			return TraceExt{}, nil, fmt.Errorf("perfctr: %d trailing bytes after wire batch", len(r.buf)-r.off)
+		}
+		magic := [4]byte(r.buf[r.off : r.off+4])
+		switch magic {
+		case extMagic:
+			if seenExt {
+				return TraceExt{}, nil, fmt.Errorf("perfctr: duplicate trace extension")
+			}
+			seenExt = true
+			if err := r.need(extLen); err != nil {
+				return TraceExt{}, nil, err
+			}
+			flags := r.buf[r.off+4]
+			if flags&^extFlagSampled != 0 {
+				return TraceExt{}, nil, fmt.Errorf("perfctr: unknown trace extension flags %#02x", flags)
+			}
+			copy(ext.ID[:], r.buf[r.off+5:r.off+extLen])
+			ext.Sampled = flags&extFlagSampled != 0
+			r.off += extLen
+		case railsMagic:
+			if seenRails {
+				return TraceExt{}, nil, fmt.Errorf("perfctr: duplicate rails extension")
+			}
+			seenRails = true
+			r.off += 4
+			count, err := r.u32()
+			if err != nil {
+				return TraceExt{}, nil, err
+			}
+			if count != nSamples {
+				return TraceExt{}, nil, fmt.Errorf(
+					"perfctr: rails extension carries %d readings for %d samples", count, nSamples)
+			}
+			if err := r.need(count * power.NumSubsystems * 8); err != nil {
+				return TraceExt{}, nil, err
+			}
+			rails = make([]power.Reading, count)
+			for i := range rails {
+				for s := 0; s < power.NumSubsystems; s++ {
+					v, _ := r.f64()
+					rails[i][s] = v
+				}
+			}
+		default:
+			return TraceExt{}, nil, fmt.Errorf("perfctr: unknown trailing block %q", magic[:])
+		}
+	}
+	return ext, rails, nil
 }
 
 // decodeSample parses one sample in place.

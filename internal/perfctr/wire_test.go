@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"trickledown/internal/power"
 )
 
 func wireTestSamples() []Sample {
@@ -294,6 +295,96 @@ func TestWireTraceExtRejectsMalformed(t *testing.T) {
 		}
 		if _, _, err := DecodeBatch(buf); err == nil {
 			t.Errorf("%s: plain decode accepted malformed extension", name)
+		}
+	}
+}
+
+func TestWireRailsRoundTrip(t *testing.T) {
+	in := wireTestSamples()
+	rails := []power.Reading{
+		{41.2, 19.1, 33.7, 33.0, 21.9},
+		{38.5, 19.0, 29.1, 32.8, 21.6},
+		{36.0, 18.9, 28.4, 32.7, 21.6},
+	}
+	ext := TraceExt{Sampled: true}
+	ext.ID[0], ext.ID[15] = 0xab, 0xcd
+	buf, err := EncodeBatchFull(nil, "node07", in, ext, rails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, out, gotExt, gotRails, err := DecodeBatchFull(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != "node07" || len(out) != len(in) {
+		t.Fatalf("node=%q samples=%d", node, len(out))
+	}
+	if gotExt != ext {
+		t.Errorf("ext = %+v, want %+v", gotExt, ext)
+	}
+	if !reflect.DeepEqual(gotRails, rails) {
+		t.Errorf("rails = %+v, want %+v", gotRails, rails)
+	}
+	// Rails without a trace context also round-trip.
+	buf, err = EncodeBatchFull(nil, "n", in, TraceExt{}, rails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, gotExt, gotRails, err = DecodeBatchFull(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotExt.IsZero() || !reflect.DeepEqual(gotRails, rails) {
+		t.Errorf("rails-only decode: ext=%+v rails=%+v", gotExt, gotRails)
+	}
+	// Pre-rails decoders tolerate the block (and discard it).
+	if _, _, _, err := DecodeBatchExt(buf); err != nil {
+		t.Errorf("DecodeBatchExt on rails batch: %v", err)
+	}
+	// No extensions at all stays byte-identical to EncodeBatch.
+	plain, err := EncodeBatchFull(nil, "n", in, TraceExt{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := EncodeBatch(nil, "n", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, base) {
+		t.Error("EncodeBatchFull without extensions diverges from EncodeBatch")
+	}
+}
+
+func TestWireRailsRejectsMalformed(t *testing.T) {
+	in := wireTestSamples()
+	rails := []power.Reading{{1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}, {1, 2, 3, 4, 5}}
+	if _, err := EncodeBatchFull(nil, "n", in, TraceExt{}, rails[:2]); err == nil {
+		t.Error("encoder accepted rails/sample count mismatch")
+	}
+	good, err := EncodeBatchFull(nil, "n", in, TraceExt{}, rails)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := EncodeBatch(nil, "n", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	railsBlock := good[len(base):]
+
+	cases := map[string][]byte{
+		"truncated rails": good[:len(good)-4],
+		"duplicate rails": append(append([]byte{}, good...), railsBlock...),
+		"count mismatch": func() []byte {
+			b := append([]byte{}, good...)
+			binary.LittleEndian.PutUint32(b[len(base)+4:], 2)
+			return b
+		}(),
+		"unknown magic": append(append([]byte{}, base...), 'T', 'D', 'Z', '9', 0, 0, 0, 0),
+		"short magic":   append(append([]byte{}, base...), 'T', 'D'),
+	}
+	for name, buf := range cases {
+		if _, _, _, _, err := DecodeBatchFull(buf); err == nil {
+			t.Errorf("%s: accepted", name)
 		}
 	}
 }

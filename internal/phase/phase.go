@@ -79,6 +79,21 @@ func (d *Detector) Observe(r power.Reading) *Phase {
 	return nil
 }
 
+// CurrentLen reports how many samples the open phase has absorbed, 0
+// when no phase is open. Consumers that must not act mid-transition
+// (the adapt layer gates retraining on this) treat a short open phase
+// as "the workload just moved — wait".
+func (d *Detector) CurrentLen() int {
+	if !d.open {
+		return 0
+	}
+	return d.cur.Samples
+}
+
+// Settled reports whether the open phase has persisted for at least n
+// samples — the boundary-quiet condition for phase-gated decisions.
+func (d *Detector) Settled(n int) bool { return d.CurrentLen() >= n }
+
 // Flush closes and returns the phase in progress, if any.
 func (d *Detector) Flush() *Phase {
 	if !d.open {

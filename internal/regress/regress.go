@@ -131,6 +131,27 @@ func OLS(x [][]float64, y []float64) (*Fit, error) {
 	return fit, nil
 }
 
+// SolveNormal solves the normal equations (XᵀX)·b = Xᵀy from
+// pre-accumulated moments, for callers that maintain the Gram matrix
+// incrementally (core.OnlineFitter) instead of materializing the design
+// matrix. The arithmetic is exactly OLS's private solver on a copy of
+// the inputs, so an incremental accumulator that adds rows in the same
+// order as OLS reproduces the batch coefficients bit for bit.
+func SolveNormal(xtx [][]float64, xty []float64) ([]float64, error) {
+	p := len(xtx)
+	if p == 0 || p != len(xty) {
+		return nil, ErrDimension
+	}
+	a := make([][]float64, p)
+	for i, row := range xtx {
+		if len(row) != p {
+			return nil, fmt.Errorf("%w: row %d has %d columns, want %d", ErrDimension, i, len(row), p)
+		}
+		a[i] = append([]float64(nil), row...)
+	}
+	return solve(a, xty)
+}
+
 // invert computes the inverse of a (which it modifies) by Gauss-Jordan
 // elimination with partial pivoting.
 func invert(a [][]float64) ([][]float64, error) {

@@ -1,0 +1,338 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trickledown/internal/adapt"
+	"trickledown/internal/align"
+	"trickledown/internal/core"
+	"trickledown/internal/iobus"
+	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
+	"trickledown/internal/tracez"
+)
+
+// adaptSample builds a deterministic 2-CPU sample whose rates sweep
+// with i — the adapt package's drill generator, reproduced here so the
+// serve-level wiring is tested with the same regime the manager's own
+// tests prove out.
+func adaptSample(i, n int) perfctr.Sample {
+	f := float64(i%n) / float64(n)
+	g := float64((i*37)%n) / float64(n)
+	const cyc = 2.8e9
+	const mcyc = cyc / 1e6
+	active := 0.2 + 0.75*f
+	upc := 0.3 + 2*g
+	buspmc := 200 + 1500*f
+	dmapmc := 100 * g
+	intspmc := 0.1 + 2*f
+	s := perfctr.Sample{
+		TargetSeconds: float64(i + 1),
+		IntervalSec:   1,
+		CPUs:          make([]perfctr.CPUCounts, 2),
+		Ints:          make([][]uint64, iobus.NumVectors),
+	}
+	for v := range s.Ints {
+		s.Ints[v] = make([]uint64, 2)
+	}
+	for c := range s.CPUs {
+		cc := &s.CPUs[c]
+		cc.Cycles = uint64(cyc)
+		cc.HaltedCycles = uint64(cyc * (1 - active))
+		cc.FetchedUops = uint64(cyc * upc)
+		cc.L3LoadMisses = uint64(80 * mcyc)
+		cc.BusTx = uint64(buspmc * mcyc)
+		cc.BusPrefetchTx = uint64(buspmc * mcyc / 10)
+		cc.DMAOther = uint64(dmapmc * mcyc)
+		cc.Uncacheable = uint64(5 * mcyc)
+		cc.TLBMisses = uint64(20 * mcyc)
+		s.Ints[iobus.VecTimer][c] = uint64(intspmc * mcyc / 2)
+		s.Ints[iobus.VecDisk][c] = uint64(intspmc * mcyc / 2)
+	}
+	return s
+}
+
+func adaptSum(v []float64) float64 {
+	t := 0.0
+	for _, x := range v {
+		t += x
+	}
+	return t
+}
+
+// adaptRails synthesizes measured rails; shift scales the activity
+// coefficients away from the shift-0 training regime.
+func adaptRails(s *perfctr.Sample, shift float64) power.Reading {
+	m := core.ExtractMetrics(s)
+	k := 1 + shift
+	var r power.Reading
+	r[power.SubCPU] = 9.25*float64(m.NumCPUs) + k*26.45*adaptSum(m.PercentActive) + k*4.31*adaptSum(m.UopsPerCycle)
+	r[power.SubChipset] = 19.0
+	busTot := m.TotalBusPMC()
+	r[power.SubMemory] = 28 + k*0.018*busTot + 2e-6*busTot*busTot
+	ints := adaptSum(m.IntsPMC)
+	r[power.SubIO] = 32.7 + k*1.1*ints + 0.04*ints*ints
+	di := adaptSum(m.DiskIntsPMC)
+	var dm float64
+	if len(m.DMAPMC) > 0 {
+		dm = adaptSum(m.DMAPMC) / float64(len(m.DMAPMC))
+	}
+	r[power.SubDisk] = 21.6 + k*2.0*di + 0.05*di*di + 0.002*dm + 1e-6*dm*dm
+	return r
+}
+
+// adaptChampion fits the production estimator on the shift-0 regime.
+func adaptChampion(t *testing.T) *core.Estimator {
+	t.Helper()
+	const n = 120
+	ds := &align.Dataset{Rows: make([]align.Row, n)}
+	for i := 0; i < n; i++ {
+		s := adaptSample(i, n)
+		ds.Rows[i] = align.Row{Power: adaptRails(&s, 0), Counters: s}
+	}
+	est, err := core.TrainEstimator(core.TrainingSet{CPU: ds, Memory: ds, Disk: ds, IO: ds, Chipset: ds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.SetProvenance(&core.Provenance{
+		SchemaVersion: core.ProvenanceSchemaVersion,
+		Version:       "train-test-corpus",
+		Fingerprint:   "test-corpus",
+		Envelopes:     core.ComputeEnvelopes(ds),
+		Reason:        "offline-train",
+	})
+	return est
+}
+
+func adaptManagerConfig(champ *core.Estimator) adapt.Config {
+	return adapt.Config{
+		Champion:        champ,
+		Window:          60,
+		MinFill:         30,
+		BaselineErrPct:  5,
+		AlarmBudgetPct:  60,
+		EnvelopeBudgetZ: 1e12,
+		RollbackDepth:   3,
+		GuardWindow:     25,
+		Cooldown:        10,
+		PhaseThresholdW: 1000,
+		PhaseSettle:     2,
+		Seed:            7,
+	}
+}
+
+// feedAdaptDrill streams pre samples of the training regime then post
+// drifted ones through IngestFull in small batches, waiting for the
+// worker to drain each so manager decisions are ordered.
+func feedAdaptDrill(t *testing.T, s *Server, pre, post int, shift float64) {
+	t.Helper()
+	const n, chunk = 97, 25
+	total := pre + post
+	for start := 0; start < total; start += chunk {
+		end := start + chunk
+		if end > total {
+			end = total
+		}
+		samples := make([]perfctr.Sample, 0, end-start)
+		rails := make([]power.Reading, 0, end-start)
+		for i := start; i < end; i++ {
+			smp := adaptSample(i, n)
+			sh := 0.0
+			if i >= pre {
+				sh = shift
+			}
+			rails = append(rails, adaptRails(&smp, sh))
+			samples = append(samples, smp)
+		}
+		if err := s.IngestFull("drill", "node0", samples, rails, tracez.Context{}); err != nil {
+			t.Fatalf("IngestFull at %d: %v", start, err)
+		}
+		waitEstimated(t, s, uint64(end))
+	}
+}
+
+func waitEstimated(t *testing.T, s *Server, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.estimated.Load() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("estimated %d, want %d", s.estimated.Load(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAdapterHotSwapsServingModel drives the full drill through the
+// service: rails-bearing ingest feeds drift detection, the promoted
+// challenger lands behind the atomic estimator pointer, and /driftz and
+// /statz report the change.
+func TestAdapterHotSwapsServingModel(t *testing.T) {
+	champ := adaptChampion(t)
+	s := newServer(t, Config{Estimator: champ, Workers: 1, QueueDepth: 64})
+	m, err := adapt.New(adaptManagerConfig(champ))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAdapter(m)
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Before any drift: /driftz live, version is the trained champion's.
+	if got := httpGet(t, ts.URL+"/driftz", 200); !strings.Contains(got, `"active_version": "train-test-corpus"`) {
+		t.Errorf("/driftz before drill: %s", got)
+	}
+	if st := s.Stats(); st.ModelVersion != "train-test-corpus" {
+		t.Errorf("ModelVersion = %q", st.ModelVersion)
+	}
+
+	feedAdaptDrill(t, s, 100, 300, 0.4)
+
+	status := m.Status()
+	if status.Swaps == 0 {
+		t.Fatalf("no swap after drifted ingest: %+v", status)
+	}
+	if s.Estimator() != m.Champion() {
+		t.Error("serving estimator diverged from manager champion")
+	}
+	st := s.Stats()
+	if st.ModelVersion == "train-test-corpus" || st.ModelVersion == "unversioned" {
+		t.Errorf("ModelVersion %q did not follow the swap", st.ModelVersion)
+	}
+	if got := httpGet(t, ts.URL+"/driftz", 200); !strings.Contains(got, `"swaps": `+fmt.Sprint(status.Swaps)) {
+		t.Errorf("/driftz after drill: %s", got)
+	}
+	// The swapped-in model serves finite, drift-accurate estimates.
+	const n = 97
+	var adaptiveErr float64
+	for i := 0; i < n; i++ {
+		smp := adaptSample(i, n)
+		truth := adaptRails(&smp, 0.4).Total()
+		got := s.Estimator().Estimate(&smp).Total()
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("non-finite estimate after swap at %d", i)
+		}
+		adaptiveErr += math.Abs(got-truth) / truth * 100
+	}
+	if adaptiveErr/n >= 9 {
+		t.Errorf("post-swap estimator err %.2f%% breaches the paper bound", adaptiveErr/n)
+	}
+}
+
+// TestAdapterNegativeControl: a corrupted challenger must be rejected
+// by the shadow gate and never reach the serving pointer.
+func TestAdapterNegativeControl(t *testing.T) {
+	champ := adaptChampion(t)
+	s := newServer(t, Config{Estimator: champ, Workers: 1, QueueDepth: 64})
+	cfg := adaptManagerConfig(champ)
+	cfg.ChallengerHook = func(c *core.Estimator) *core.Estimator {
+		bad := &core.Model{Spec: core.CPUSpec(), Coef: []float64{40, -26, -4}}
+		est, err := core.NewEstimator(bad,
+			c.Model(power.SubChipset), c.Model(power.SubMemory),
+			c.Model(power.SubIO), c.Model(power.SubDisk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.SetProvenance(c.Provenance())
+		return est
+	}
+	m, err := adapt.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetAdapter(m)
+
+	feedAdaptDrill(t, s, 100, 300, 0.4)
+
+	status := m.Status()
+	if status.Swaps != 0 {
+		t.Fatalf("corrupted challenger swapped in: %+v", status)
+	}
+	if status.Rejected == 0 {
+		t.Fatalf("gate never exercised: %+v", status)
+	}
+	if s.Estimator() != champ {
+		t.Error("serving estimator changed despite rejection")
+	}
+	if st := s.Stats(); st.ModelVersion != "train-test-corpus" {
+		t.Errorf("ModelVersion = %q after rejected challengers", st.ModelVersion)
+	}
+}
+
+// TestDriftzWithoutAdapter: the endpoint must 404 (not 500, not empty
+// 200) when adaptation is off.
+func TestDriftzWithoutAdapter(t *testing.T) {
+	s := newServer(t, Config{Estimator: testEstimator(t), Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	httpGet(t, ts.URL+"/driftz", 404)
+}
+
+// TestRateLimiterEvictsIdleFirst is the deterministic half of the
+// churn regression: with a synthetic clock, cycling more distinct
+// clients than the table holds must keep the table bounded and evict
+// long-idle identities before recently-active ones.
+func TestRateLimiterEvictsIdleFirst(t *testing.T) {
+	l := newRateLimiter(1000, 1000)
+	l.maxClients = 16
+	t0 := time.Unix(1000, 0)
+	if !l.allow("steady", 1, t0) {
+		t.Fatal("steady client rejected from idle")
+	}
+	for i := 0; i < 100; i++ {
+		now := t0.Add(time.Duration(i+1) * time.Second)
+		l.allow(fmt.Sprintf("churn-%d", i), 1, now)
+		// The steady client keeps touching its bucket, so its last-use is
+		// always the newest and eviction must never pick it.
+		if !l.allow("steady", 1, now) {
+			t.Fatalf("steady client rate-limited at churn %d", i)
+		}
+		if got := l.tracked(); got > l.maxClients {
+			t.Fatalf("table grew to %d (> %d) at churn %d", got, l.maxClients, i)
+		}
+	}
+	l.mu.Lock()
+	_, steadyAlive := l.m["steady"]
+	_, oldChurnAlive := l.m["churn-0"]
+	l.mu.Unlock()
+	if !steadyAlive {
+		t.Error("active client evicted")
+	}
+	if oldChurnAlive {
+		t.Error("oldest idle client survived 100 churn rounds in a 16-entry table")
+	}
+}
+
+// TestRateLimiterChurnConcurrent is the -race half: concurrent
+// identity churn well past the table bound must stay bounded and
+// data-race free.
+func TestRateLimiterChurnConcurrent(t *testing.T) {
+	l := newRateLimiter(1e9, 1e9)
+	l.maxClients = 64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.allow(fmt.Sprintf("g%d-c%d", g, i), 1, time.Now())
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000; i++ {
+			l.allow("steady", 1, time.Now())
+		}
+	}()
+	wg.Wait()
+	if got := l.tracked(); got > l.maxClients {
+		t.Errorf("table at %d after churn (bound %d)", got, l.maxClients)
+	}
+}

@@ -25,6 +25,7 @@ const maxBodyBytes = 64 << 20
 //	GET  /power    one node's live power (?node=NAME)
 //	GET  /fleet    cross-node aggregate with degradation flags
 //	GET  /statz    machine-readable service stats (the loadgen contract)
+//	GET  /driftz   self-healing adaptation status (404 until -adapt)
 //	GET  /healthz  liveness
 //	/metrics, /debug/telemetry, /debug/vars via internal/telemetry
 func (s *Server) Handler() http.Handler {
@@ -33,6 +34,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/power", s.handlePower)
 	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/statz", s.handleStatz)
+	mux.HandleFunc("/driftz", s.handleDriftz)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -72,7 +74,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "body too large or unreadable", http.StatusRequestEntityTooLarge)
 		return
 	}
-	node, samples, ext, err := perfctr.DecodeBatchExt(body)
+	node, samples, ext, rails, err := perfctr.DecodeBatchFull(body)
 	if err != nil {
 		http.Error(w, "bad batch: "+err.Error(), http.StatusBadRequest)
 		return
@@ -87,7 +89,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if tc.ID.IsZero() {
 		tc = s.rec.Mint()
 	}
-	switch err := s.IngestTraced(client, node, samples, tc); {
+	switch err := s.IngestFull(client, node, samples, rails, tc); {
 	case err == nil:
 		w.WriteHeader(http.StatusAccepted)
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrRateLimited):
@@ -122,6 +124,17 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, s.Stats())
+}
+
+// handleDriftz exposes the self-healing manager's state; 404 until an
+// adapter is installed so scrapers can distinguish "off" from "idle".
+func (s *Server) handleDriftz(w http.ResponseWriter, r *http.Request) {
+	ad := s.adapter.Load()
+	if ad == nil {
+		http.Error(w, "adaptation not enabled", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, ad.Status())
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

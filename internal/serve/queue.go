@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"trickledown/internal/perfctr"
+	"trickledown/internal/power"
 	"trickledown/internal/tracez"
 )
 
@@ -24,6 +25,9 @@ import (
 type batch struct {
 	node    string
 	samples []perfctr.Sample
+	// rails, when non-nil, is one measured power reading per sample (the
+	// TDP1 wire extension) feeding the adapter's drift detection.
+	rails   []power.Reading
 	arrived time.Time
 	queued  time.Time
 	// tc is the batch's trace identity (producer- or server-minted); tr

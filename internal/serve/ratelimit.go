@@ -1,14 +1,17 @@
 package serve
 
 import (
+	"sort"
 	"sync"
 	"time"
 )
 
 // maxTrackedClients bounds the limiter's memory against client-ID churn
-// (a producer fleet rolling its identifiers). Past the bound the table
-// is reset: brief over-admission beats unbounded growth, and the queue
-// bound behind the limiter still holds the real line.
+// (a producer fleet rolling its identifiers). At the bound the idlest
+// quarter of the table is evicted — churning one-shot identities age
+// out while steadily-sending clients keep their bucket state, so a
+// burst of strangers can no longer reset every honest client's spent
+// tokens the way a full table wipe used to.
 const maxTrackedClients = 16384
 
 // rateLimiter is a per-client token bucket in samples (not requests):
@@ -16,10 +19,11 @@ const maxTrackedClients = 16384
 // limit is on ingest volume, the resource that actually saturates the
 // estimation workers.
 type rateLimiter struct {
-	rate  float64 // tokens (samples) per second per client
-	burst float64 // bucket capacity
-	mu    sync.Mutex
-	m     map[string]*tokenBucket
+	rate       float64 // tokens (samples) per second per client
+	burst      float64 // bucket capacity
+	maxClients int     // table bound; tests shrink it to force eviction
+	mu         sync.Mutex
+	m          map[string]*tokenBucket
 }
 
 type tokenBucket struct {
@@ -36,7 +40,7 @@ func newRateLimiter(rate, burst float64) *rateLimiter {
 	if burst < rate {
 		burst = rate
 	}
-	return &rateLimiter{rate: rate, burst: burst, m: make(map[string]*tokenBucket)}
+	return &rateLimiter{rate: rate, burst: burst, maxClients: maxTrackedClients, m: make(map[string]*tokenBucket)}
 }
 
 // allow spends n tokens from client's bucket at time now, reporting
@@ -49,8 +53,8 @@ func (l *rateLimiter) allow(client string, n float64, now time.Time) bool {
 	defer l.mu.Unlock()
 	b := l.m[client]
 	if b == nil {
-		if len(l.m) >= maxTrackedClients {
-			l.m = make(map[string]*tokenBucket)
+		if len(l.m) >= l.maxClients {
+			l.evictIdleLocked()
 		}
 		b = &tokenBucket{tokens: l.burst, last: now}
 		l.m[client] = b
@@ -67,4 +71,37 @@ func (l *rateLimiter) allow(client string, n float64, now time.Time) bool {
 	}
 	b.tokens -= n
 	return true
+}
+
+// evictIdleLocked drops the least-recently-touched quarter of the
+// table (at least one entry). O(n log n) on a full table, but the
+// table only fills under sustained identity churn and the evicted
+// quarter buys thousands of admissions before the next sort.
+func (l *rateLimiter) evictIdleLocked() {
+	type idle struct {
+		client string
+		last   time.Time
+	}
+	all := make([]idle, 0, len(l.m))
+	for c, b := range l.m {
+		all = append(all, idle{c, b.last})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].last.Before(all[j].last) })
+	drop := len(all) / 4
+	if drop < 1 {
+		drop = 1
+	}
+	for _, e := range all[:drop] {
+		delete(l.m, e.client)
+	}
+}
+
+// tracked returns the number of client buckets currently held.
+func (l *rateLimiter) tracked() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.m)
 }

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"trickledown/internal/adapt"
 	"trickledown/internal/core"
 	"trickledown/internal/perfctr"
 	"trickledown/internal/pool"
@@ -208,8 +209,12 @@ func (n *nodeState) apply(wall time.Time, count, bad uint64, lastT float64, last
 // Server is the live estimation service. Create with New, start with
 // Start, stop with Close. All methods are safe for concurrent use.
 type Server struct {
-	cfg     Config
-	est     *core.Estimator
+	cfg Config
+	// est is the serving estimator behind an atomic pointer: model
+	// hot-swap is a single store, in-flight batches finish on whichever
+	// model they loaded, and no estimate ever sees a torn model.
+	est     atomic.Pointer[core.Estimator]
+	adapter atomic.Pointer[adapt.Manager]
 	queue   *ingestQueue
 	limiter *rateLimiter
 	p       *pool.Pool
@@ -254,7 +259,6 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg: cfg,
-		est: cfg.Estimator,
 		rec: tracez.NewRecorder(tracez.Config{
 			SampleRate:    cfg.TraceSampleRate,
 			RingSize:      cfg.TraceRing,
@@ -269,11 +273,47 @@ func New(cfg Config) (*Server, error) {
 		cancel:      cancel,
 		workersDone: make(chan struct{}),
 	}
+	s.est.Store(cfg.Estimator)
 	if cfg.DiagDir != "" {
 		s.bundler = tracez.NewBundler(cfg.DiagDir, s.rec, s.flight)
 	}
 	return s, nil
 }
+
+// Estimator returns the currently serving estimator.
+func (s *Server) Estimator() *core.Estimator { return s.est.Load() }
+
+// SwapEstimator atomically replaces the serving estimator and returns
+// the previous one. The swap is a single pointer store: batches already
+// mid-estimation finish on the model they loaded.
+func (s *Server) SwapEstimator(e *core.Estimator) *core.Estimator {
+	if e == nil {
+		return s.est.Load()
+	}
+	return s.est.Swap(e)
+}
+
+// SetAdapter installs the self-healing manager. Batches carrying
+// measured rails (the TDP1 wire extension) feed the manager's drift
+// detection; every swap or rollback it decides flips the serving
+// estimator atomically and triggers a diagnostics bundle. Pass nil to
+// detach (the current estimator keeps serving, frozen).
+func (s *Server) SetAdapter(m *adapt.Manager) {
+	s.adapter.Store(m)
+	if m == nil {
+		return
+	}
+	m.Subscribe(func(ev adapt.Event) {
+		s.SwapEstimator(ev.Estimator)
+		s.triggerBundle("model-" + ev.Kind)
+	})
+	// Align the serving model with the manager's current champion so
+	// /statz and /driftz agree from the first request.
+	s.SwapEstimator(m.Champion())
+}
+
+// Adapter returns the installed self-healing manager, or nil.
+func (s *Server) Adapter() *adapt.Manager { return s.adapter.Load() }
 
 // Tracer exposes the server's trace recorder (the /debug/tracez data
 // source) for CLIs and tests.
@@ -385,8 +425,19 @@ func (s *Server) Ingest(client, node string, samples []perfctr.Sample) error {
 // when tc is unsampled; admitted unsampled batches record nothing and
 // allocate nothing beyond the batch itself.
 func (s *Server) IngestTraced(client, node string, samples []perfctr.Sample, tc tracez.Context) error {
+	return s.IngestFull(client, node, samples, nil, tc)
+}
+
+// IngestFull is IngestTraced with per-sample measured rails riding
+// along (the TDP1 wire extension). When an adapter is installed the
+// rails become drift-detection ground truth; without one they are
+// ignored. rails must be nil or exactly one Reading per sample.
+func (s *Server) IngestFull(client, node string, samples []perfctr.Sample, rails []power.Reading, tc tracez.Context) error {
 	if len(samples) == 0 {
 		return nil
+	}
+	if rails != nil && len(rails) != len(samples) {
+		return fmt.Errorf("serve: %d rails for %d samples", len(rails), len(samples))
 	}
 	arrived := time.Now()
 	n := uint64(len(samples))
@@ -400,7 +451,7 @@ func (s *Server) IngestTraced(client, node string, samples []perfctr.Sample, tc 
 		s.rec.Anomaly(tc.ID, node, client, arrived, "shed:rate_limited", tracez.EvShed, int64(n))
 		return ErrRateLimited
 	}
-	b := &batch{node: node, samples: samples, arrived: arrived, tc: tc}
+	b := &batch{node: node, samples: samples, rails: rails, arrived: arrived, tc: tc}
 	if tr := s.rec.Start(tc, node, client, arrived); tr != nil {
 		tr.Add(tracez.EvAdmitted, int64(n))
 		b.tr = tr
@@ -540,6 +591,8 @@ func (s *Server) process(b *batch, scratch *core.Metrics, worker int) {
 	scheduled := time.Now()
 	b.tr.AddAt(tracez.EvScheduled, scheduled, int64(worker), "")
 	fault := s.faultInjector()
+	adapter := s.adapter.Load()
+	est := s.est.Load()
 	var (
 		bad     uint64
 		lastT   float64
@@ -553,8 +606,16 @@ func (s *Server) process(b *batch, scratch *core.Metrics, worker int) {
 				fault.PerturbCounts(smp.TargetSeconds, c, &smp.CPUs[c])
 			}
 		}
+		if adapter != nil && b.rails != nil {
+			// Drift detection sees the sample after fault injection —
+			// exactly what the estimators see. A swap or rollback decided
+			// here lands synchronously, so the reload below serves the
+			// rest of the batch on the new champion.
+			adapter.Observe(smp, b.rails[i])
+			est = s.est.Load()
+		}
 		core.ExtractMetricsAtInto(scratch, smp, s.cfg.NominalHz)
-		r := s.est.EstimateMetrics(scratch)
+		r := est.EstimateMetrics(scratch)
 		if finiteReading(r) {
 			lastR = r
 			hasGood = true
@@ -624,6 +685,14 @@ func (s *Server) reconstructAnomaly(b *batch, scheduled, departed time.Time, wor
 	t.AddAt(tracez.EvDeparted, departed, int64(len(b.samples)), "")
 	t.End = departed
 	s.rec.Finish(t)
+}
+
+// modelVersion renders an estimator's provenance version.
+func modelVersion(e *core.Estimator) string {
+	if p := e.Provenance(); p != nil && p.Version != "" {
+		return p.Version
+	}
+	return "unversioned"
 }
 
 // finiteReading reports whether every rail of r is finite.
@@ -808,6 +877,9 @@ func summarize(h *telemetry.Histogram) LatencySummary {
 // numbers the load generator records into BENCH_<date>.json. Latency
 // summaries come from the process-wide serve histograms.
 type Stats struct {
+	// ModelVersion is the active estimator's provenance version
+	// ("unversioned" for a pre-provenance model).
+	ModelVersion     string         `json:"model_version"`
 	SamplesIngested  uint64         `json:"samples_ingested"`
 	SamplesEstimated uint64         `json:"samples_estimated"`
 	SamplesShed      uint64         `json:"samples_shed"`
@@ -831,6 +903,7 @@ func (s *Server) Stats() Stats {
 	nodes := len(s.nodes)
 	s.nodesMu.RUnlock()
 	return Stats{
+		ModelVersion:     modelVersion(s.est.Load()),
 		SamplesIngested:  s.ingested.Load(),
 		SamplesEstimated: s.estimated.Load(),
 		SamplesShed:      s.shed.Load(),
