@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update serve loadgen serve-smoke drift-drill
+.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update serve loadgen serve-smoke drift-drill fleet fleet-smoke
 
 all: vet test
 
@@ -84,6 +84,21 @@ drift-drill:
 	$(GO) run ./examples/drift
 	$(GO) run ./examples/drift -force-bad-challenger
 	$(GO) run ./examples/drift -rollback-drill
+
+# Fleet-scale scheduler scenario (DESIGN.md §3i): the 12-node
+# consolidation drill — decisions from estimates only, physically
+# verified, with an asserted energy margin over naive static placement
+# — followed by the 1,000-node sharded stepping smoke. `make
+# fleet-smoke` is the CI variant: the 1k run twice under -race at
+# different worker counts, compared byte-for-byte.
+fleet:
+	$(GO) run ./examples/fleet
+	$(GO) run ./examples/fleet -smoke 1000
+
+fleet-smoke:
+	$(GO) run -race ./examples/fleet -smoke 1000 -workers 2 > /tmp/fleet_smoke_a.out
+	$(GO) run -race ./examples/fleet -smoke 1000 -workers 8 > /tmp/fleet_smoke_b.out
+	cmp /tmp/fleet_smoke_a.out /tmp/fleet_smoke_b.out
 
 loc:
 	find . -name '*.go' | xargs wc -l | tail -1

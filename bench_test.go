@@ -628,3 +628,92 @@ func BenchmarkAblationDiskSpindown(b *testing.B) {
 		b.ReportMetric(em, "spindown_disk_err%")
 	}
 }
+
+// fleetBenchConfig is the small-generation box fleet-scale benchmarks
+// populate: 1 CPU x 2 threads and one disk keeps a thousand nodes cheap
+// enough to step every iteration while still exercising the full
+// counter -> estimate pipeline per node.
+func fleetBenchConfig(seed uint64) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.NumCPUs = 1
+	cfg.ThreadsPerCPU = 2
+	cfg.NumDisks = 1
+	cfg.Seed = seed
+	return cfg
+}
+
+// fleetBenchWorkloads cycles across the fleet so shards hold
+// mixed-cost nodes rather than copies of one trace.
+var fleetBenchWorkloads = []string{"gcc", "mcf", "mesa", "vortex"}
+
+// buildBenchFleet assembles n mixed-config, mixed-workload nodes.
+func buildBenchFleet(b *testing.B, est *core.Estimator, n, workers int) *cluster.Cluster {
+	b.Helper()
+	c, err := cluster.New(est)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.SetWorkers(workers)
+	for i := 0; i < n; i++ {
+		wl := fleetBenchWorkloads[i%len(fleetBenchWorkloads)]
+		if _, err := c.AddMixedConfig(fmt.Sprintf("fleet-%05d", i),
+			fleetBenchConfig(uint64(3000+i)),
+			[]machine.Placement{{Workload: wl, Thread: i % 2}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return c
+}
+
+// BenchmarkFleet1kNodes steps a 1,000-node mixed-config fleet two
+// simulated seconds per iteration (the aligner needs at least two
+// sample windows to pair logs) through the sharded run path — the
+// fleet-scale capacity number ROADMAP item 1 asks for, reported as
+// simulated node-seconds per wall second.
+func BenchmarkFleet1kNodes(b *testing.B) {
+	est, err := runner().Estimator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const (
+		nodes  = 1000
+		simSec = 2.0
+	)
+	for _, workers := range []int{4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := buildBenchFleet(b, est, nodes, workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Run(simSec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if s := b.Elapsed().Seconds(); s > 0 {
+				b.ReportMetric(float64(nodes)*simSec*float64(b.N)/s, "sim_node_s/s")
+			}
+			_, total, err := c.Snapshot()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(total, "fleet_W")
+		})
+	}
+}
+
+// BenchmarkClusterConstruct10k builds a 10,000-node fleet per
+// iteration: the regression benchmark for the former O(n^2)
+// duplicate-name scan in Cluster.add, which dominated construction at
+// this scale before the name-index map.
+func BenchmarkClusterConstruct10k(b *testing.B) {
+	est, err := runner().Estimator()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		c := buildBenchFleet(b, est, 10000, 8)
+		if c.NumNodes() != 10000 {
+			b.Fatal("short fleet")
+		}
+	}
+}

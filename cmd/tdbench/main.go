@@ -35,10 +35,12 @@ import (
 // defaultSuite is the fixed benchmark set a BENCH_*.json records: the
 // two regeneration paths the PR optimized (tables and figures carry the
 // subsystem error metrics), the substrate hot path, parallel cluster
-// stepping, and the per-sample estimation cost.
+// stepping, the per-sample estimation cost, and the fleet-scale numbers
+// (1k-node sharded stepping throughput, 10k-node construction).
 const defaultSuite = "BenchmarkTable1$|BenchmarkTable3$|BenchmarkTable4$|" +
 	"BenchmarkFigure5$|BenchmarkSimulationSecond$|BenchmarkCluster8Nodes$|" +
-	"BenchmarkEstimate$|BenchmarkExtractMetrics$|BenchmarkTrain$"
+	"BenchmarkEstimate$|BenchmarkExtractMetrics$|BenchmarkTrain$|" +
+	"BenchmarkFleet1kNodes$|BenchmarkClusterConstruct10k$"
 
 func main() {
 	log.SetFlags(0)

@@ -108,10 +108,8 @@ func main() {
 		}
 	}
 	for _, name := range cov.Degraded {
-		for _, n := range fleet.Nodes() {
-			if n.Name == name {
-				fmt.Printf("degraded=%s quality=%q\n", name, n.Quality())
-			}
+		if n, ok := fleet.Lookup(name); ok {
+			fmt.Printf("degraded=%s quality=%q\n", name, n.Quality())
 		}
 	}
 
@@ -121,13 +119,13 @@ func main() {
 	}
 	fmt.Printf("\n%-9s %12s %12s %8s\n", "node", "est (W)", "meas (W)", "err")
 	for _, e := range snap {
-		var meas float64
-		for _, n := range fleet.Nodes() {
-			if n.Name == e.Name {
-				if meas, err = n.MeasuredMean(); err != nil {
-					log.Fatal(err)
-				}
-			}
+		n, ok := fleet.Lookup(e.Name)
+		if !ok {
+			log.Fatalf("snapshot names unknown node %s", e.Name)
+		}
+		meas, err := n.MeasuredMean()
+		if err != nil {
+			log.Fatal(err)
 		}
 		fmt.Printf("%-9s %12.1f %12.1f %7.2f%%\n",
 			e.Name, e.Watts, meas, 100*abs(e.Watts-meas)/meas)

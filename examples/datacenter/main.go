@@ -85,7 +85,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	slog.Info("observing rack", "nodes", len(rack.Nodes()), "budget_watts", rackBudgetWatts,
+	slog.Info("observing rack", "nodes", rack.NumNodes(), "budget_watts", rackBudgetWatts,
 		"observe_seconds", 90, "workers", rack.Workers(), "cpus", runtime.GOMAXPROCS(0))
 	// RunContext steps every node in parallel on the worker pool; an
 	// operator's monitoring loop would pass a real deadline or shutdown
@@ -99,8 +99,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("%-9s %12s %12s %8s\n", "node", "est (W)", "meas (W)", "err")
-	for i, e := range snap {
-		meas, err := rack.Nodes()[i].MeasuredMean()
+	for _, e := range snap {
+		n, ok := rack.Lookup(e.Name)
+		if !ok {
+			log.Fatalf("snapshot names unknown node %s", e.Name)
+		}
+		meas, err := n.MeasuredMean()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,19 +11,25 @@
 //
 // # Concurrency model
 //
-// Run steps every node in parallel on a bounded worker pool
-// (internal/pool; default runtime.GOMAXPROCS workers, SetWorkers to
-// change). Each node owns an independent seeded machine.Server and its
-// own sample accumulators, so parallel stepping is deterministic: for a
-// fixed set of seeds, Snapshot and VerifyAccuracy return bit-for-bit the
-// same values at any worker count, including 1 (the serial path). Node
+// Run steps nodes in parallel on a bounded worker pool (internal/pool;
+// default runtime.GOMAXPROCS workers, SetWorkers to change). The fleet
+// is partitioned into contiguous shards — several nodes per pool task —
+// so coordination cost per run is O(shards), not O(nodes): at 10,000
+// nodes a run dispatches a few dozen pool tasks instead of ten thousand,
+// and per-node telemetry is folded into per-shard accumulators merged
+// deterministically in shard order. Each node owns an independent seeded
+// machine.Server and its own sample accumulators, so parallel stepping
+// is deterministic: for a fixed set of seeds, Snapshot and
+// VerifyAccuracy return bit-for-bit the same values at any worker count
+// (and therefore any shard count), including 1 (the serial path). Node
 // failures are aggregated — Run reports every failed node, in insertion
 // order, instead of stopping at the first. RunContext adds cooperative
 // cancellation: nodes stop at the next slice boundary and the partial
 // samples folded so far remain valid. Run calls are serialized with each
 // other; Snapshot, VerifyAccuracy and the per-node means may be called
 // concurrently with a running Run and observe each node's last fully
-// folded state.
+// folded state. SetWorkers may also be called during a run: the new
+// bound takes effect at the start of the next run, never mid-run.
 //
 // # Fault model
 //
@@ -37,14 +43,22 @@
 // before a failure is declared; InjectFaults wires a deterministic
 // chaos plan (internal/faults) into every node for testing all of the
 // above.
+//
+// Distinct from quarantine, SetPowered administratively powers a node
+// down (a scheduler consolidation decision, internal/sched): the node
+// stops being stepped and stops contributing to Snapshot, but it is
+// healthy and can be powered back on.
 package cluster
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"trickledown/internal/align"
@@ -60,7 +74,9 @@ import (
 
 // Cluster telemetry: per-node stepping progress plus the cost of folding
 // freshly sampled rows into the running means. RunContext itself is
-// timed as the "cluster.run" span.
+// timed as the "cluster.run" span. Counters are batched per shard, not
+// per node, so a 10k-node fleet does not pay 10k atomic increments per
+// metric per run.
 var (
 	mNodeRuns = telemetry.NewCounter("cluster_node_runs_total",
 		"individual node stepping tasks completed (one per node per Run)")
@@ -74,8 +90,14 @@ var (
 		"nodes quarantined after a failed run (crash, panic or unalignable logs)")
 	mNodePanics = telemetry.NewCounter("cluster_node_panics_recovered_total",
 		"panics recovered while stepping a node, converted to quarantine")
+	mNodeRetries = telemetry.NewCounter("cluster_node_step_retries_total",
+		"node step re-executions after a failed attempt")
+	mShardRuns = telemetry.NewCounter("cluster_shard_runs_total",
+		"shard stepping tasks completed (several nodes per task)")
 	gQuarantined = telemetry.NewGauge("cluster_quarantined_nodes",
 		"nodes currently quarantined")
+	gPoweredOff = telemetry.NewGauge("cluster_powered_off_nodes",
+		"nodes administratively powered down by a scheduler decision")
 )
 
 // ErrNoSamples is returned when a node has not produced counter samples
@@ -85,6 +107,10 @@ var ErrNoSamples = errors.New("cluster: node has no samples")
 // ErrNodeFailed is wrapped by every error involving a quarantined node:
 // its means, and a Snapshot taken after the whole cluster has failed.
 var ErrNodeFailed = errors.New("cluster: node failed")
+
+// ErrUnknownNode is returned by name-keyed operations (SetPowered) for a
+// name the cluster does not manage.
+var ErrUnknownNode = errors.New("cluster: unknown node")
 
 // Node is one managed server.
 type Node struct {
@@ -107,6 +133,9 @@ type Node struct {
 	// err, once set, marks the node quarantined; see quarantine.
 	err     error
 	quality align.Quality
+	// off marks the node administratively powered down (SetPowered):
+	// healthy, not stepped, not contributing to snapshots.
+	off bool
 }
 
 // Cluster manages a set of nodes with one shared estimator (the paper's
@@ -114,13 +143,30 @@ type Node struct {
 type Cluster struct {
 	est *core.Estimator
 
-	mu    sync.Mutex // guards nodes, p, retry and plan
-	nodes []*Node
-	p     *pool.Pool
-	retry pool.Retry
-	plan  *faults.Plan
+	mu     sync.Mutex // guards nodes, byName, workers, retry and plan
+	nodes  []*Node    // insertion order; append-only
+	byName map[string]int
+	// view is the published read-only snapshot of nodes: a slice header
+	// over the same append-only backing array, so readers (Run, Snapshot,
+	// Coverage) iterate the fleet without taking mu or copying 10k
+	// pointers per call. Appending only ever writes past every published
+	// view's length, which keeps lock-free readers safe.
+	view    atomic.Pointer[[]*Node]
+	workers int // desired stepping concurrency; applied at next run
+	retry   pool.Retry
+	plan    *faults.Plan
 
 	runMu sync.Mutex // serializes Run calls; a Server is not reentrant
+	// p is the stepping pool, owned by the run path: SetWorkers only
+	// records the desired bound, and the pool is (re)built here at the
+	// start of the next run — a mid-run SetWorkers can never swap the
+	// pool out from under in-flight shard tasks.
+	p *pool.Pool
+	// stepErrs is the per-node last-attempt error scratch, reused across
+	// runs so a per-interval scheduler loop does not allocate O(nodes)
+	// every tick.
+	stepErrs []error
+	shards   []shardAcc
 }
 
 // New returns an empty cluster using the given fitted estimator, stepping
@@ -129,24 +175,36 @@ func New(est *core.Estimator) (*Cluster, error) {
 	if est == nil {
 		return nil, errors.New("cluster: nil estimator")
 	}
-	return &Cluster{est: est, p: pool.New(0)}, nil
+	c := &Cluster{
+		est:     est,
+		byName:  make(map[string]int),
+		workers: runtime.GOMAXPROCS(0),
+	}
+	empty := []*Node(nil)
+	c.view.Store(&empty)
+	return c, nil
 }
 
-// SetWorkers bounds how many nodes Run steps concurrently. Non-positive
-// n restores the default, runtime.GOMAXPROCS. One worker reproduces the
-// serial path exactly; any other count produces identical results (each
-// node is an independent seeded simulation), just faster.
+// SetWorkers bounds how many shard tasks Run executes concurrently.
+// Non-positive n restores the default, runtime.GOMAXPROCS. One worker
+// reproduces the serial path exactly; any other count produces identical
+// results (each node is an independent seeded simulation), just faster.
+// Calling it during a run is safe: the running run keeps its pool and
+// the new bound takes effect when the next run starts.
 func (c *Cluster) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.p = pool.New(n)
+	c.workers = n
 }
 
 // Workers returns the current node-stepping concurrency bound.
 func (c *Cluster) Workers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.p.Workers()
+	return c.workers
 }
 
 // SetRetry makes Run retry a failed node step (with pool's capped
@@ -190,6 +248,13 @@ func (c *Cluster) InjectFaults(plan *faults.Plan) (int, error) {
 func (c *Cluster) AddHomogeneous(name, workloadName string, seed uint64) (*Node, error) {
 	cfg := machine.DefaultConfig()
 	cfg.Seed = seed
+	return c.AddHomogeneousConfig(name, workloadName, cfg)
+}
+
+// AddHomogeneousConfig adds a node running one workload on an explicit
+// hardware configuration — the heterogeneous-fleet path (mixed chipset
+// and CPU-count generations in one cluster).
+func (c *Cluster) AddHomogeneousConfig(name, workloadName string, cfg machine.Config) (*Node, error) {
 	spec, err := workload.ByName(workloadName)
 	if err != nil {
 		return nil, err
@@ -205,6 +270,11 @@ func (c *Cluster) AddHomogeneous(name, workloadName string, seed uint64) (*Node,
 func (c *Cluster) AddMixed(name string, seed uint64, placements []machine.Placement) (*Node, error) {
 	cfg := machine.DefaultConfig()
 	cfg.Seed = seed
+	return c.AddMixedConfig(name, cfg, placements)
+}
+
+// AddMixedConfig is AddMixed with an explicit hardware configuration.
+func (c *Cluster) AddMixedConfig(name string, cfg machine.Config, placements []machine.Placement) (*Node, error) {
 	srv, err := machine.NewMixed(cfg, placements)
 	if err != nil {
 		return nil, err
@@ -218,24 +288,88 @@ func (c *Cluster) add(name string, srv *machine.Server) (*Node, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for _, n := range c.nodes {
-		if n.Name == name {
-			return nil, fmt.Errorf("cluster: duplicate node %q", name)
-		}
+	// The name index makes duplicate detection O(1); the old linear scan
+	// made building a 10k-node fleet O(n²) in string compares.
+	if _, dup := c.byName[name]; dup {
+		return nil, fmt.Errorf("cluster: duplicate node %q", name)
 	}
 	if c.plan != nil {
 		faults.Attach(c.plan, name, srv)
 	}
 	n := &Node{Name: name, srv: srv}
+	c.byName[name] = len(c.nodes)
 	c.nodes = append(c.nodes, n)
+	v := c.nodes
+	c.view.Store(&v)
 	return n, nil
 }
 
-// Nodes returns the managed nodes in insertion order.
+// nodesView returns the current fleet in insertion order without copying
+// or locking — the internal iteration path. Callers must not mutate it.
+func (c *Cluster) nodesView() []*Node { return *c.view.Load() }
+
+// Nodes returns the managed nodes in insertion order. The slice is a
+// fresh copy the caller may keep; hot paths iterating every interval
+// should use NumNodes/Lookup or the streaming Snapshot APIs instead.
 func (c *Cluster) Nodes() []*Node {
+	return append([]*Node(nil), c.nodesView()...)
+}
+
+// NumNodes returns the managed node count without allocating.
+func (c *Cluster) NumNodes() int { return len(c.nodesView()) }
+
+// Lookup returns the named node, or false. It is O(1): per-interval
+// control loops resolve names against a 10k-node fleet without scans.
+func (c *Cluster) Lookup(name string) (*Node, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return append([]*Node(nil), c.nodes...)
+	i, ok := c.byName[name]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return c.nodesView()[i], true
+}
+
+// SetPowered administratively powers the named node down (on=false) or
+// back up (on=true) — the actuation path for a scheduler's consolidation
+// decisions (internal/sched). A powered-down node is healthy: it is
+// skipped by Run (its simulation freezes, costing nothing) and excluded
+// from Snapshot/VerifyAccuracy, but keeps its folded history and resumes
+// when powered back on. Quarantine is independent and dominant: powering
+// a quarantined node "on" does not resurrect it.
+func (c *Cluster) SetPowered(name string, on bool) error {
+	n, ok := c.Lookup(name)
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownNode, name)
+	}
+	n.mu.Lock()
+	changed := n.off == on
+	n.off = !on
+	n.mu.Unlock()
+	if changed {
+		if on {
+			gPoweredOff.Add(-1)
+		} else {
+			gPoweredOff.Add(1)
+		}
+	}
+	return nil
+}
+
+// Powered reports whether the node is administratively powered on. A
+// quarantined node may still report true; quarantine is tracked by Err.
+func (n *Node) Powered() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return !n.off
+}
+
+// skipRun reports whether Run should leave this node alone, reading the
+// quarantine and power state under one lock acquisition.
+func (n *Node) skipRun() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err != nil || n.off
 }
 
 // Run advances every node by the given simulated seconds and folds the
@@ -244,6 +378,49 @@ func (c *Cluster) Nodes() []*Node {
 // and error-aggregation guarantees.
 func (c *Cluster) Run(seconds float64) error {
 	return c.RunContext(context.Background(), seconds)
+}
+
+// shardAcc is one shard's fold accumulator: per-node telemetry batched
+// over the shard's node range, merged in shard order after the pool
+// drains. Failed node indices land in the shared per-node error scratch,
+// which keeps failure reporting in insertion order no matter how shards
+// were scheduled.
+type shardAcc struct {
+	lo, hi     int
+	runs       uint64
+	samples    uint64
+	simSeconds float64
+	failed     int
+}
+
+// shardsPerWorker oversubscribes shards relative to workers so one
+// expensive shard (heterogeneous nodes are not equally costly) does not
+// leave the other workers idle at the end of a run.
+const shardsPerWorker = 4
+
+// planShards partitions n nodes into contiguous balanced shards. Shard
+// boundaries affect scheduling only, never results: folds are per-node
+// and accumulators are merged in shard index order.
+func planShards(acc []shardAcc, n, workers int) []shardAcc {
+	count := workers * shardsPerWorker
+	if count > n {
+		count = n
+	}
+	if count < 1 {
+		count = 1
+	}
+	acc = acc[:0]
+	base, rem := n/count, n%count
+	lo := 0
+	for s := 0; s < count; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		acc = append(acc, shardAcc{lo: lo, hi: lo + size})
+		lo += size
+	}
+	return acc
 }
 
 // RunContext is Run with cooperative cancellation. On cancellation the
@@ -260,27 +437,70 @@ func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 	c.runMu.Lock()
 	defer c.runMu.Unlock()
 	defer telemetry.StartSpan("cluster.run").End()
+	nodes := c.nodesView()
 	c.mu.Lock()
-	nodes := append([]*Node(nil), c.nodes...)
-	p, retry := c.p, c.retry
+	retry := c.retry
+	workers := c.workers
 	c.mu.Unlock()
+	// The pool is rebuilt here, between runs, when SetWorkers changed the
+	// bound — never mid-run.
+	if c.p == nil || c.p.Workers() != workers {
+		c.p = pool.New(workers)
+	}
+	n := len(nodes)
 	// Cluster runs are low-volume (one per simulated interval), so every
 	// run gets a trace on the process recorder unconditionally: chaos
 	// drills read the quarantine timeline from /debug/tracez instead of
 	// correlating log lines.
 	rec := tracez.Default()
 	tr := rec.StartAt(tracez.NewTraceID(), "cluster", "", time.Now())
-	tr.Add(tracez.EvAdmitted, int64(len(nodes)))
+	tr.Add(tracez.EvAdmitted, int64(n))
 	// final[i] is node i's last-attempt error; slots are written by the
-	// stepping worker and read only after the pool drains.
-	final := make([]error, len(nodes))
-	poolErr := p.RunRetry(ctx, len(nodes), retry, func(ctx context.Context, i int) error {
-		if nodes[i].Err() != nil {
-			return nil // quarantined by an earlier run
+	// shard owning node i and read only after the pool drains. The
+	// scratch is reused across runs.
+	if cap(c.stepErrs) < n {
+		c.stepErrs = make([]error, n)
+	}
+	final := c.stepErrs[:n]
+	for i := range final {
+		final[i] = nil
+	}
+	c.shards = planShards(c.shards, n, workers)
+	shards := c.shards
+	poolErr := c.p.Run(ctx, len(shards), func(ctx context.Context, s int) error {
+		acc := &shards[s]
+		for i := acc.lo; i < acc.hi; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			node := nodes[i]
+			if node.skipRun() {
+				continue // quarantined by an earlier run, or powered down
+			}
+			added, err := node.stepRetry(ctx, c.est, seconds, retry)
+			acc.runs++
+			acc.samples += uint64(added)
+			acc.simSeconds += seconds
+			if err != nil {
+				final[i] = err
+				acc.failed++
+			}
 		}
-		final[i] = nodes[i].step(ctx, c.est, seconds)
-		return final[i]
+		return nil
 	})
+	// Merge the shard accumulators deterministically in shard index
+	// order; the totals are independent of scheduling.
+	var runs, samples uint64
+	var simSeconds float64
+	for s := range shards {
+		runs += shards[s].runs
+		samples += shards[s].samples
+		simSeconds += shards[s].simSeconds
+	}
+	mShardRuns.Add(uint64(len(shards)))
+	mNodeRuns.Add(runs)
+	mSamplesFolded.Add(samples)
+	mNodeSimSeconds.Add(simSeconds)
 	if ctx.Err() != nil {
 		// Cancellation is not a node fault: report it, quarantine nothing.
 		tr.Outcome = "cancelled"
@@ -299,15 +519,47 @@ func (c *Cluster) RunContext(ctx context.Context, seconds float64) error {
 	if len(failures) > 0 {
 		tr.Outcome = "quarantine"
 	}
-	tr.Add(tracez.EvDeparted, int64(len(nodes)-len(failures)))
+	tr.Add(tracez.EvDeparted, int64(n-len(failures)))
 	rec.Finish(tr)
 	return errors.Join(failures...)
 }
 
+// stepRetry runs one node's step under the per-node retry policy. The
+// retry loop lives here (not in the pool) because the pool's unit of
+// work is now a whole shard: retrying a shard would re-step healthy
+// nodes, while retrying the node alone keeps the old semantics exactly.
+func (n *Node) stepRetry(ctx context.Context, est *core.Estimator, seconds float64, r pool.Retry) (int, error) {
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	total := 0
+	for attempt := 1; ; attempt++ {
+		added, err := n.step(ctx, est, seconds)
+		total += added
+		if err == nil || attempt >= attempts {
+			return total, err
+		}
+		mNodeRetries.Inc()
+		if wait := r.Backoff(attempt); wait > 0 {
+			t := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return total, errors.Join(err, ctx.Err())
+			case <-t.C:
+			}
+		} else if ctx.Err() != nil {
+			return total, errors.Join(err, ctx.Err())
+		}
+	}
+}
+
 // step advances one node and folds its fresh samples, converting a
 // panic anywhere underneath (machine, DAQ, fold) into an error so one
-// poisoned node cannot take down the whole run.
-func (n *Node) step(ctx context.Context, est *core.Estimator, seconds float64) (err error) {
+// poisoned node cannot take down the whole run. It returns how many new
+// samples were folded.
+func (n *Node) step(ctx context.Context, est *core.Estimator, seconds float64) (added int, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			mNodePanics.Inc()
@@ -321,22 +573,21 @@ func (n *Node) step(ctx context.Context, est *core.Estimator, seconds float64) (
 	foldStart := time.Now()
 	ds, quality, dsErr := n.srv.DatasetRobust()
 	if dsErr == nil {
-		n.fold(est, ds, quality)
+		added = n.fold(est, ds, quality)
 		mFoldLatency.Observe(time.Since(foldStart).Seconds())
 	}
-	mNodeRuns.Inc()
-	mNodeSimSeconds.Add(seconds)
 	if runErr != nil {
-		return runErr
+		return added, runErr
 	}
-	return dsErr
+	return added, dsErr
 }
 
 // fold accumulates the node's not-yet-seen samples into its running
-// means. Only the worker stepping the node calls it (Run calls are
-// serialized), so n.lastT and the dataset walk need no lock; the lock
-// protects the accumulators against concurrent mean readers.
-func (n *Node) fold(est *core.Estimator, ds *align.Dataset, quality align.Quality) {
+// means and returns how many rows were new. Only the worker stepping the
+// node calls it (Run calls are serialized), so n.lastT and the dataset
+// walk need no lock; the lock protects the accumulators against
+// concurrent mean readers.
+func (n *Node) fold(est *core.Estimator, ds *align.Dataset, quality align.Quality) int {
 	var estSum, measSum float64
 	added := 0
 	for i := range ds.Rows {
@@ -355,7 +606,7 @@ func (n *Node) fold(est *core.Estimator, ds *align.Dataset, quality align.Qualit
 	n.n += added
 	n.quality = quality
 	n.mu.Unlock()
-	mSamplesFolded.Add(uint64(added))
+	return added
 }
 
 // quarantine marks the node failed. First cause wins; the samples
@@ -418,37 +669,106 @@ func (n *Node) MeasuredMean() (float64, error) {
 	return n.measSum / float64(n.n), nil
 }
 
+// means returns (estimated, measured, ok) in one lock acquisition for
+// the streaming verification path; ok is false for a node that should be
+// skipped (quarantined or powered down) and err reports a healthy
+// powered-on node without samples.
+func (n *Node) means() (est, meas float64, ok bool, err error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.err != nil || n.off {
+		return 0, 0, false, nil
+	}
+	if n.n == 0 {
+		return 0, 0, false, ErrNoSamples
+	}
+	return n.estSum / float64(n.n), n.measSum / float64(n.n), true, nil
+}
+
 // Estimate is one node's reading in a cluster snapshot.
 type Estimate struct {
 	Name  string
 	Watts float64
 }
 
-// Snapshot returns the per-node estimated means plus the cluster total,
-// in node insertion order regardless of how the underlying runs were
-// scheduled. Quarantined nodes are skipped — their draw is unknown, not
-// zero; use Coverage to see how much of the cluster the total covers. A
-// healthy node without samples is still an error (ErrNoSamples), and a
-// cluster with every node quarantined fails with ErrNodeFailed.
-func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
-	nodes := c.Nodes()
-	out := make([]Estimate, 0, len(nodes))
+// VisitEstimates streams the per-node estimated means in node insertion
+// order without materializing a fleet-sized slice — the per-interval
+// read path for a scheduler loop over 10k nodes. Quarantined and
+// powered-down nodes are skipped; a healthy powered-on node without
+// samples is an error (ErrNoSamples), and a cluster whose every node is
+// quarantined fails with ErrNodeFailed. It returns the fleet total.
+func (c *Cluster) VisitEstimates(visit func(Estimate)) (float64, error) {
+	nodes := c.nodesView()
 	total := 0.0
+	contributing, quarantined := 0, 0
 	for _, n := range nodes {
-		if n.Err() != nil {
+		est, _, ok, err := n.means()
+		if err != nil {
+			return 0, fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		}
+		if !ok {
+			if n.Err() != nil {
+				quarantined++
+			}
 			continue
 		}
-		w, err := n.EstimatedMean()
-		if err != nil {
-			return nil, 0, fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		contributing++
+		total += est
+		if visit != nil {
+			visit(Estimate{Name: n.Name, Watts: est})
 		}
-		out = append(out, Estimate{Name: n.Name, Watts: w})
-		total += w
 	}
-	if len(out) == 0 && len(nodes) > 0 {
-		return nil, 0, fmt.Errorf("%w: all %d nodes quarantined", ErrNodeFailed, len(nodes))
+	if contributing == 0 && quarantined == len(nodes) && len(nodes) > 0 {
+		return 0, fmt.Errorf("%w: all %d nodes quarantined", ErrNodeFailed, len(nodes))
 	}
-	return out, total, nil
+	return total, nil
+}
+
+// SnapshotInto is Snapshot with a caller-owned buffer: estimates are
+// appended to dst[:0] and the (possibly regrown) slice is returned, so a
+// scheduler polling every simulated interval reuses one allocation
+// instead of churning an O(nodes) slice per tick. With a large enough
+// buffer the steady-state call allocates nothing (it iterates inline
+// rather than through VisitEstimates, whose closure would escape).
+func (c *Cluster) SnapshotInto(dst []Estimate) ([]Estimate, float64, error) {
+	dst = dst[:0]
+	nodes := c.nodesView()
+	total := 0.0
+	contributing, quarantined := 0, 0
+	for _, n := range nodes {
+		est, _, ok, err := n.means()
+		if err != nil {
+			return dst, 0, fmt.Errorf("cluster: node %s: %w", n.Name, err)
+		}
+		if !ok {
+			if n.Err() != nil {
+				quarantined++
+			}
+			continue
+		}
+		contributing++
+		total += est
+		dst = append(dst, Estimate{Name: n.Name, Watts: est})
+	}
+	if contributing == 0 && quarantined == len(nodes) && len(nodes) > 0 {
+		return dst, 0, fmt.Errorf("%w: all %d nodes quarantined", ErrNodeFailed, len(nodes))
+	}
+	return dst, total, nil
+}
+
+// Snapshot returns the per-node estimated means plus the cluster total,
+// in node insertion order regardless of how the underlying runs were
+// scheduled. Quarantined and powered-down nodes are skipped — a
+// quarantined node's draw is unknown, not zero; use Coverage to see how
+// much of the cluster the total covers. A healthy powered-on node
+// without samples is still an error (ErrNoSamples), and a cluster with
+// every node quarantined fails with ErrNodeFailed.
+func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
+	snap, total, err := c.SnapshotInto(make([]Estimate, 0, c.NumNodes()))
+	if err != nil {
+		return nil, 0, err
+	}
+	return snap, total, nil
 }
 
 // Coverage describes how much of the cluster the sensorless estimates
@@ -456,17 +776,22 @@ func (c *Cluster) Snapshot() ([]Estimate, float64, error) {
 type Coverage struct {
 	// Total is the number of managed nodes.
 	Total int
-	// Healthy nodes contribute to Snapshot and VerifyAccuracy.
+	// Healthy nodes contribute to Snapshot and VerifyAccuracy (powered
+	// on, not quarantined).
 	Healthy int
 	// Quarantined lists failed nodes in insertion order.
 	Quarantined []string
+	// PoweredOff lists administratively powered-down (healthy) nodes in
+	// insertion order.
+	PoweredOff []string
 	// Degraded lists healthy nodes whose latest fold needed repair
 	// (interpolated or dropped windows; see align.Quality).
 	Degraded []string
 }
 
 // Full reports complete, clean coverage: every node healthy, no node
-// running on repaired data.
+// running on repaired data. Deliberate power-downs do not break
+// coverage; they are scheduling, not degradation.
 func (cov Coverage) Full() bool {
 	return len(cov.Quarantined) == 0 && len(cov.Degraded) == 0
 }
@@ -474,10 +799,14 @@ func (cov Coverage) Full() bool {
 // Coverage reports the cluster's current degradation state.
 func (c *Cluster) Coverage() Coverage {
 	cov := Coverage{}
-	for _, n := range c.Nodes() {
+	for _, n := range c.nodesView() {
 		cov.Total++
 		if n.Err() != nil {
 			cov.Quarantined = append(cov.Quarantined, n.Name)
+			continue
+		}
+		if !n.Powered() {
+			cov.PoweredOff = append(cov.PoweredOff, n.Name)
 			continue
 		}
 		cov.Healthy++
@@ -510,6 +839,10 @@ type Plan struct {
 // workload migration; fewer migrations is the cheaper plan). It never
 // plans away the last node. Ties break toward the earlier estimate, so
 // the plan is deterministic for a fixed input order.
+//
+// PlanConsolidation is the single-shot planner; internal/sched grows it
+// into a per-interval scheduler loop with migration costs, per-host
+// capacity and the never-overload-survivors constraint.
 func PlanConsolidation(estimates []Estimate, budgetWatts float64) Plan {
 	total := 0.0
 	for _, e := range estimates {
@@ -536,28 +869,40 @@ func PlanConsolidation(estimates []Estimate, budgetWatts float64) Plan {
 // VerifyAccuracy returns the Equation 6 style relative error between the
 // cluster's estimated and measured mean totals — the check an operator
 // would run once before trusting the sensorless readings. Quarantined
-// nodes are excluded like in Snapshot; the error covers the surviving
-// coverage only.
+// and powered-down nodes are excluded like in Snapshot; the error covers
+// the surviving coverage only. The computation streams over the fleet
+// (no O(nodes) slices), summing in insertion order so the result is
+// bit-identical to the slice-based formulation.
 func (c *Cluster) VerifyAccuracy() (float64, error) {
-	nodes := c.Nodes()
-	var est, meas []float64
+	nodes := c.nodesView()
+	sum, count := 0.0, 0
+	contributing, quarantined := 0, 0
 	for _, n := range nodes {
-		if n.Err() != nil {
+		est, meas, ok, err := n.means()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			if n.Err() != nil {
+				quarantined++
+			}
 			continue
 		}
-		e, err := n.EstimatedMean()
-		if err != nil {
-			return 0, err
+		contributing++
+		if meas == 0 {
+			continue
 		}
-		m, err := n.MeasuredMean()
-		if err != nil {
-			return 0, err
+		sum += math.Abs(est-meas) / math.Abs(meas)
+		count++
+	}
+	if contributing == 0 {
+		if quarantined == len(nodes) && len(nodes) > 0 {
+			return 0, fmt.Errorf("%w: all %d nodes quarantined", ErrNodeFailed, len(nodes))
 		}
-		est = append(est, e)
-		meas = append(meas, m)
+		return 0, stats.ErrEmpty
 	}
-	if len(est) == 0 && len(nodes) > 0 {
-		return 0, fmt.Errorf("%w: all %d nodes quarantined", ErrNodeFailed, len(nodes))
+	if count == 0 {
+		return 0, stats.ErrEmpty
 	}
-	return stats.AverageError(est, meas)
+	return sum / float64(count) * 100, nil
 }
