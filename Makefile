@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update serve loadgen serve-smoke drift-drill fleet fleet-smoke
+.PHONY: all test vet bench bench-all bench-gate race cover report tables figures examples loc validate validate-update serve loadgen serve-smoke drift-drill fleet fleet-smoke replay tenants diurnal
 
 all: vet test
 
@@ -99,6 +99,22 @@ fleet-smoke:
 	$(GO) run -race ./examples/fleet -smoke 1000 -workers 2 > /tmp/fleet_smoke_a.out
 	$(GO) run -race ./examples/fleet -smoke 1000 -workers 8 > /tmp/fleet_smoke_b.out
 	cmp /tmp/fleet_smoke_a.out /tmp/fleet_smoke_b.out
+
+# Trace-driven replay & multi-tenant/diurnal scenarios (DESIGN.md §3j):
+# `make replay` records a 12-workload day as WTR1 traces, replays each
+# through the codec byte-identically and serves the replayed day;
+# `make tenants` splits one node's estimated power across a 4-tenant
+# cohort and gates on the metamorphic attribution battery;
+# `make diurnal` runs the closed scheduler loop over a simulated day
+# (consolidate at night, power back up on the morning ramp).
+replay:
+	$(GO) run ./examples/replay
+
+tenants:
+	$(GO) run ./examples/tenants
+
+diurnal:
+	$(GO) run ./examples/diurnal
 
 loc:
 	find . -name '*.go' | xargs wc -l | tail -1

@@ -10,6 +10,8 @@
 //	tdpower -placement "gcc:0,gcc:1:30,dbt-2:2"   # heterogeneous placement wl:thread[:start]
 //	tdpower -record trace.csv ...     # save the aligned power+counter log
 //	tdpower -replay trace.csv ...     # analyze a recorded log instead of simulating
+//	tdpower -record-wtrace day.wtr .. # save the per-thread workload demand as a WTR1 trace
+//	tdpower -replay-wtrace day.wtr .. # re-simulate from a WTR1 trace (byte-identical ground truth)
 //	tdpower -metrics-addr :9090 ...   # live /metrics, /debug/vars and /debug/pprof
 //	tdpower -chaos [-chaos-seed 1]    # inject sensor faults, recover via the robust merge
 //	tdpower -list
@@ -35,10 +37,12 @@ import (
 	"trickledown/internal/machine"
 	"trickledown/internal/perfctr"
 	"trickledown/internal/power"
+	"trickledown/internal/sim"
 	"trickledown/internal/stats"
 	"trickledown/internal/telemetry"
 	"trickledown/internal/tracez"
 	"trickledown/internal/workload"
+	"trickledown/internal/wtrace"
 
 	// Linked for its metric registrations only: /metrics always exposes
 	// the full sim/pool/cluster/daq schema (at zero when unused), so
@@ -59,6 +63,8 @@ func main() {
 	placement := flag.String("placement", "", `heterogeneous placement: comma-separated "workload:thread[:startSec]" (overrides -workload)`)
 	record := flag.String("record", "", "write the aligned power+counter log to this CSV file")
 	replay := flag.String("replay", "", "analyze a recorded CSV log instead of simulating")
+	recordWtrace := flag.String("record-wtrace", "", "record the run's per-thread workload demand to this WTR1 trace file")
+	replayWtrace := flag.String("replay-wtrace", "", "simulate from a recorded WTR1 workload trace (overrides -workload and -placement)")
 	workers := flag.Int("workers", 0, "max concurrent training simulations (0 = GOMAXPROCS)")
 	chaos := flag.Bool("chaos", false, "inject deterministic sensor faults (dropped syncs, a DAQ dropout, rare counter glitches) and recover via the robust merge")
 	chaosSeed := flag.Uint64("chaos-seed", 1, "seed for the -chaos fault schedule")
@@ -108,19 +114,54 @@ func main() {
 		cfg.Seed = *seed
 		var srv *machine.Server
 		var label string
-		if *placement != "" {
-			placements, err := parsePlacements(*placement)
+		var rec *wtrace.Recorder
+		switch {
+		case *replayWtrace != "":
+			tr, err := wtrace.ReadFile(*replayWtrace)
+			if err != nil {
+				log.Fatal(err)
+			}
+			placements, err := tr.Placements()
 			if err != nil {
 				log.Fatal(err)
 			}
 			if srv, err = machine.NewMixed(cfg, placements); err != nil {
 				log.Fatal(err)
 			}
+			fp, err := tr.Fingerprint()
+			if err != nil {
+				log.Fatal(err)
+			}
+			logger.Info("replaying workload trace", "file", *replayWtrace,
+				"workload", tr.Header.Workload, "threads", tr.Header.Threads,
+				"duration_sec", tr.Duration(), "fingerprint", fp)
+			label = "replay:" + tr.Header.Workload
+		case *placement != "":
+			placements, err := parsePlacements(*placement)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if *recordWtrace != "" {
+				if rec, err = wrapPlacements(cfg, placements); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if srv, err = machine.NewMixed(cfg, placements); err != nil {
+				log.Fatal(err)
+			}
 			label = "mixed [" + *placement + "]"
-		} else {
+		default:
 			spec, err := workload.ByName(*wl)
 			if err != nil {
 				log.Fatal(err)
+			}
+			if *recordWtrace != "" {
+				if rec, err = wtrace.NewRecorder(spec.Name, 1/cfg.Slice.Seconds(), spec.Instances); err != nil {
+					log.Fatal(err)
+				}
+				if spec, err = wtrace.RecordSpec(spec, rec); err != nil {
+					log.Fatal(err)
+				}
 			}
 			if srv, err = machine.New(cfg, spec); err != nil {
 				log.Fatal(err)
@@ -154,6 +195,21 @@ func main() {
 			}
 		} else if ds, err = srv.Dataset(); err != nil {
 			log.Fatal(err)
+		}
+		if rec != nil {
+			tr, err := rec.Trace()
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tr.WriteFile(*recordWtrace); err != nil {
+				log.Fatal(err)
+			}
+			fp, err := tr.Fingerprint()
+			if err != nil {
+				log.Fatal(err)
+			}
+			logger.Info("recorded workload trace", "file", *recordWtrace,
+				"samples", tr.Header.Samples, "fingerprint", fp)
 		}
 	}
 	if ds.Len() == 0 {
@@ -219,6 +275,47 @@ func chaosPlan(seed uint64, seconds float64) *faults.Plan {
 		{Kind: faults.DAQDropout, Channel: power.SubMemory, Start: seconds * 0.3, Duration: 2},
 		{Kind: faults.CounterGlitch, CPU: -1, Start: 0, Magnitude: 0.01},
 	}}
+}
+
+// wrapPlacements arms a WTR1 recorder over a mixed placement run: each
+// placement's generator is wrapped to record its hardware thread's
+// demand stream, and the recorder's chipset bias is set to the average
+// over distinct placed workloads (what the machine itself applies), so
+// a replay reproduces the chipset rail too.
+func wrapPlacements(cfg machine.Config, placements []machine.Placement) (*wtrace.Recorder, error) {
+	rec, err := wtrace.NewRecorder("mixed", 1/cfg.Slice.Seconds(), cfg.NumCPUs*cfg.ThreadsPerCPU)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]float64{}
+	for i := range placements {
+		pl := &placements[i]
+		spec, err := workload.ByName(pl.Workload)
+		if err != nil {
+			return nil, err
+		}
+		seen[spec.Name] = spec.ChipsetDomainBias
+		inner := spec.Make
+		thread, start := pl.Thread, pl.StartSec
+		wspec := spec
+		wspec.Make = func(instance int, rng *sim.RNG) workload.Generator {
+			g := inner(instance, rng)
+			w, err := rec.Wrap(thread, start, g)
+			if err != nil {
+				return g
+			}
+			return w
+		}
+		pl.Spec = &wspec
+	}
+	var bias float64
+	for _, b := range seen {
+		bias += b
+	}
+	if len(seen) > 0 {
+		rec.SetChipsetBias(bias / float64(len(seen)))
+	}
+	return rec, nil
 }
 
 // parsePlacements parses "workload:thread[:startSec]" items.

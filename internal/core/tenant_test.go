@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"trickledown/internal/power"
+	"trickledown/internal/sim"
+	"trickledown/internal/workload"
+)
+
+func sampleReading(cpu, chip, mem, io, disk float64) power.Reading {
+	var r power.Reading
+	r[power.SubCPU] = cpu
+	r[power.SubChipset] = chip
+	r[power.SubMemory] = mem
+	r[power.SubIO] = io
+	r[power.SubDisk] = disk
+	return r
+}
+
+func sampleTenants() []TenantActivity {
+	mk := func(name string, cpu, mem, io, disk float64) TenantActivity {
+		var d [power.NumSubsystems]float64
+		d[power.SubCPU] = cpu
+		d[power.SubMemory] = mem
+		d[power.SubIO] = io
+		d[power.SubDisk] = disk
+		return TenantActivity{Name: name, Driving: d}
+	}
+	return []TenantActivity{
+		mk("web", 100, 20, 5, 1),
+		mk("db", 60, 80, 40, 90),
+		mk("batch", 200, 50, 0, 0),
+		mk("idle", 0, 0, 0, 0),
+	}
+}
+
+func TestAttributeTenantsConservesAndOrders(t *testing.T) {
+	total := sampleReading(120, 20, 28, 32, 24)
+	idle := sampleReading(40, 19, 21, 30, 21)
+	tenants := sampleTenants()
+	out, err := AttributeTenants(total, idle, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < power.NumSubsystems; s++ {
+		var sum float64
+		for i := range out {
+			sum += out[i][s]
+		}
+		if math.Abs(sum-total[s]) > 1e-9 {
+			t.Errorf("%s: attributed sum %v != total %v", power.Subsystem(s), sum, total[s])
+		}
+	}
+	// The idle tenant gets exactly its even share of floors plus its
+	// even share of the chipset dynamic part (nobody drives chipset).
+	chipDyn := total[power.SubChipset] - idle[power.SubChipset]
+	wantIdle := (idle.Total() + chipDyn) / 4.0 // floors split 4 ways
+	if math.Abs(out[3].Total()-wantIdle) > 1e-9 {
+		t.Errorf("idle tenant total %v, want %v", out[3].Total(), wantIdle)
+	}
+	// batch drives the most CPU, so it gets the largest CPU share.
+	if !(out[2][power.SubCPU] > out[0][power.SubCPU] && out[0][power.SubCPU] > out[3][power.SubCPU]) {
+		t.Errorf("CPU attribution order wrong: %v %v %v", out[2][power.SubCPU], out[0][power.SubCPU], out[3][power.SubCPU])
+	}
+	// db dominates disk.
+	if out[1][power.SubDisk] <= out[0][power.SubDisk] {
+		t.Errorf("disk attribution order wrong")
+	}
+}
+
+func TestAttributeTenantsDegenerateCases(t *testing.T) {
+	total := sampleReading(100, 20, 25, 30, 22)
+	idle := total // fully idle node: everything is floor
+	out, err := AttributeTenants(total, idle, sampleTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if math.Abs(out[i].Total()-total.Total()/4) > 1e-9 {
+			t.Errorf("all-floor split not even: tenant %d got %v", i, out[i].Total())
+		}
+	}
+	// Idle above total: dynamic clamps to zero instead of going negative.
+	hot := sampleReading(50, 10, 10, 10, 10)
+	cold := sampleReading(60, 20, 20, 20, 20)
+	out, err = AttributeTenants(hot, cold, sampleTenants())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		for s := 0; s < power.NumSubsystems; s++ {
+			if out[i][s] < 0 {
+				t.Errorf("negative attribution tenant %d subsystem %s", i, power.Subsystem(s))
+			}
+		}
+	}
+
+	if _, err := AttributeTenants(total, idle, nil); err == nil || !strings.Contains(err.Error(), "zero tenants") {
+		t.Fatalf("zero tenants: %v", err)
+	}
+	bad := sampleTenants()
+	bad[1].Driving[power.SubCPU] = -1
+	if _, err := AttributeTenants(total, idle, bad); err == nil {
+		t.Fatal("negative driving accepted")
+	}
+	bad = sampleTenants()
+	bad[0].Driving[power.SubMemory] = math.NaN()
+	if _, err := AttributeTenants(total, idle, bad); err == nil {
+		t.Fatal("NaN driving accepted")
+	}
+	nanTotal := total
+	nanTotal[power.SubIO] = math.Inf(1)
+	if _, err := AttributeTenants(nanTotal, idle, sampleTenants()); err == nil {
+		t.Fatal("Inf total accepted")
+	}
+}
+
+func TestCheckAttributionBattery(t *testing.T) {
+	total := sampleReading(120, 20, 28, 32, 24)
+	idle := sampleReading(40, 19, 21, 30, 21)
+	if err := CheckAttribution(total, idle, sampleTenants()); err != nil {
+		t.Fatalf("battery failed on a well-formed instance: %v", err)
+	}
+	// Randomized sweep: the battery must hold across seeded instances.
+	rng := sim.NewRNG(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		tenants := make([]TenantActivity, n)
+		for i := range tenants {
+			tenants[i].Name = "t"
+			for s := range tenants[i].Driving {
+				if rng.Float64() < 0.2 {
+					continue // leave zero: exercises even-split fallback
+				}
+				tenants[i].Driving[s] = 1000 * rng.Float64()
+			}
+		}
+		var total, idle power.Reading
+		for s := range total {
+			idle[s] = 5 + 20*rng.Float64()
+			total[s] = idle[s] + 80*rng.Float64()
+			if rng.Float64() < 0.1 {
+				total[s] = idle[s] - 1 // exercise the dyn clamp
+			}
+		}
+		if err := CheckAttribution(total, idle, tenants); err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+	}
+}
+
+func TestTenantActivityFromUsage(t *testing.T) {
+	u := workload.TenantUsage{
+		Name: "web", Intervals: 100,
+		ActiveSum: 50, UopSum: 70, L3MissSum: 10, BusSum: 13,
+		DiskBytes: 4096, NetBytes: 8192,
+	}
+	a := TenantActivityFromUsage(u)
+	if a.Name != "web" {
+		t.Fatalf("name %q", a.Name)
+	}
+	if a.Driving[power.SubCPU] != 120 {
+		t.Errorf("CPU driver %v", a.Driving[power.SubCPU])
+	}
+	if a.Driving[power.SubChipset] != 0 {
+		t.Errorf("chipset driver %v, want 0 (constant model)", a.Driving[power.SubChipset])
+	}
+	if a.Driving[power.SubMemory] != 13 {
+		t.Errorf("memory driver %v", a.Driving[power.SubMemory])
+	}
+	if a.Driving[power.SubIO] != 12288 {
+		t.Errorf("IO driver %v", a.Driving[power.SubIO])
+	}
+	if a.Driving[power.SubDisk] != 4096 {
+		t.Errorf("disk driver %v", a.Driving[power.SubDisk])
+	}
+}

@@ -190,6 +190,12 @@ type Placement struct {
 	Thread int
 	// StartSec delays the instance's start.
 	StartSec float64
+	// Spec, when non-nil, supplies the workload spec directly instead
+	// of resolving Workload through the registry — the hook that lets
+	// unregistered generators (trace replays, tenant cohorts, wrapped
+	// recorders) ride the unchanged machine/cluster constructors.
+	// Instance counting and chipset-bias dedup key on Spec.Name.
+	Spec *workload.Spec
 }
 
 // New builds a server running the named workload. The workload's
@@ -293,9 +299,18 @@ func newServer(cfg Config, placements []Placement, lookup func(string) (workload
 	var bias float64
 	instanceOf := map[string]int{}
 	for _, pl := range placements {
-		spec, err := lookup(pl.Workload)
-		if err != nil {
-			return nil, err
+		var spec workload.Spec
+		if pl.Spec != nil {
+			spec = *pl.Spec
+			if spec.Name == "" || spec.Make == nil {
+				return nil, fmt.Errorf("machine: inline spec for thread %d needs a name and a Make", pl.Thread)
+			}
+		} else {
+			var err error
+			spec, err = lookup(pl.Workload)
+			if err != nil {
+				return nil, err
+			}
 		}
 		if pl.Thread < 0 || pl.Thread >= threads {
 			return nil, fmt.Errorf("machine: thread %d out of range [0,%d)", pl.Thread, threads)
@@ -306,14 +321,14 @@ func newServer(cfg Config, placements []Placement, lookup func(string) (workload
 		if pl.StartSec < 0 {
 			return nil, fmt.Errorf("machine: negative start for thread %d", pl.Thread)
 		}
-		inst := instanceOf[pl.Workload]
-		instanceOf[pl.Workload]++
+		inst := instanceOf[spec.Name]
+		instanceOf[spec.Name]++
 		s.jobs[pl.Thread] = job{
 			gen:   spec.Make(inst, rng.Split()),
 			start: pl.StartSec,
 		}
-		if !seen[pl.Workload] {
-			seen[pl.Workload] = true
+		if !seen[spec.Name] {
+			seen[spec.Name] = true
 			bias += spec.ChipsetDomainBias
 		}
 	}

@@ -1,0 +1,204 @@
+// Arrival-pattern combinators: generators that wrap other generators to
+// shape *when* and *how hard* a workload runs — the scenario axis
+// ROADMAP item 3 names. A Diurnal envelope scales an inner workload
+// through multi-period sinusoidal cycles with a seeded burst overlay; a
+// Bursty gate switches it on and off with exponential dwell times; a
+// Cohort places N tenant generators on one node and models their
+// interference on the shared L3 and memory bus, feeding the per-tenant
+// usage accounting that core's attribution splits node power with.
+//
+// All three are deterministic given the machine seed: randomness comes
+// only from the per-thread RNG the machine passes to Demand, so wrapped
+// runs keep the repo's byte-identical fixed-seed guarantee.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"trickledown/internal/sim"
+)
+
+// DiurnalPeriod is one sinusoidal component of a diurnal envelope.
+type DiurnalPeriod struct {
+	// PeriodSec is the cycle length in seconds (a simulated "day").
+	PeriodSec float64
+	// Amp is the amplitude added to the base load at the cycle peak.
+	Amp float64
+	// PhaseRad shifts the cycle; phase 0 starts at mid-ramp ascending,
+	// +pi/2 starts at the peak.
+	PhaseRad float64
+}
+
+// DiurnalConfig shapes a Diurnal envelope.
+type DiurnalConfig struct {
+	// Base is the mean load level in [0,1].
+	Base float64
+	// Periods are summed sinusoidal components (e.g. a day cycle plus a
+	// shorter lunch-hour harmonic).
+	Periods []DiurnalPeriod
+	// BurstsPerSec is the expected arrival rate of load bursts
+	// (a Poisson overlay); 0 disables bursts.
+	BurstsPerSec float64
+	// BurstLoad is the extra load a burst adds while active.
+	BurstLoad float64
+	// BurstMeanSec is the mean burst duration.
+	BurstMeanSec float64
+}
+
+// Diurnal scales an inner generator's demand by a multi-period
+// sinusoidal envelope with an optional seeded burst overlay. The
+// envelope multiplies the inner demand's Active fraction and its I/O
+// byte rates; per-uop intensity rates (cache misses, TLB misses) are a
+// property of the code, not of the arrival rate, and pass through.
+type Diurnal struct {
+	inner Generator
+	cfg   DiurnalConfig
+
+	init      bool
+	burstEnd  float64
+	nextBurst float64
+}
+
+// NewDiurnal validates the config and wraps inner.
+func NewDiurnal(inner Generator, cfg DiurnalConfig) (*Diurnal, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("workload: diurnal needs an inner generator")
+	}
+	if cfg.Base < 0 || math.IsNaN(cfg.Base) || math.IsInf(cfg.Base, 0) {
+		return nil, fmt.Errorf("workload: diurnal base %v invalid", cfg.Base)
+	}
+	for i, p := range cfg.Periods {
+		if !(p.PeriodSec > 0) || math.IsInf(p.PeriodSec, 0) {
+			return nil, fmt.Errorf("workload: diurnal period %d has invalid length %v", i, p.PeriodSec)
+		}
+	}
+	if cfg.BurstsPerSec < 0 || cfg.BurstMeanSec < 0 {
+		return nil, fmt.Errorf("workload: diurnal burst config invalid")
+	}
+	return &Diurnal{inner: inner, cfg: cfg}, nil
+}
+
+// Name implements Generator.
+func (g *Diurnal) Name() string { return "diurnal:" + g.inner.Name() }
+
+// Envelope returns the deterministic (burst-free) load factor at t,
+// clamped to [0,1]. Periods shorter than the sample interval alias like
+// any undersampled sinusoid but remain finite and clamped.
+func (g *Diurnal) Envelope(t float64) float64 {
+	load := g.cfg.Base
+	for _, p := range g.cfg.Periods {
+		load += p.Amp * math.Sin(2*math.Pi*t/p.PeriodSec+p.PhaseRad)
+	}
+	return clamp01(load)
+}
+
+// Demand implements Generator.
+func (g *Diurnal) Demand(t float64, env Env, rng *sim.RNG) Demand {
+	load := g.Envelope(t)
+	if g.cfg.BurstsPerSec > 0 && g.cfg.BurstMeanSec > 0 {
+		if !g.init {
+			g.init = true
+			g.nextBurst = t + rng.Exp(1/g.cfg.BurstsPerSec)
+		}
+		if t >= g.nextBurst {
+			g.burstEnd = t + math.Max(rng.Exp(g.cfg.BurstMeanSec), 1e-3)
+			g.nextBurst = g.burstEnd + math.Max(rng.Exp(1/g.cfg.BurstsPerSec), 1e-3)
+		}
+		if t < g.burstEnd {
+			load = clamp01(load + g.cfg.BurstLoad)
+		}
+	}
+	d := g.inner.Demand(t, env, rng)
+	d.Active = clamp01(d.Active * load)
+	d.DiskReadBytes *= load
+	d.DiskWriteBytes *= load
+	d.NetRxBytes *= load
+	d.NetTxBytes *= load
+	return d
+}
+
+// DiurnalSpec wraps a registered spec so every instance runs under its
+// own copy of the diurnal envelope (instances share the config but not
+// burst state, keeping streams independent).
+func DiurnalSpec(inner Spec, cfg DiurnalConfig) (Spec, error) {
+	if _, err := NewDiurnal(idleGen{}, cfg); err != nil {
+		return Spec{}, err
+	}
+	out := inner
+	out.Name = "diurnal:" + inner.Name
+	innerMake := inner.Make
+	out.Make = func(instance int, rng *sim.RNG) Generator {
+		g, err := NewDiurnal(innerMake(instance, rng), cfg)
+		if err != nil {
+			return innerMake(instance, rng)
+		}
+		return g
+	}
+	return out, nil
+}
+
+// BurstyConfig shapes a Bursty on/off gate.
+type BurstyConfig struct {
+	// OnMeanSec and OffMeanSec are the exponential mean dwell times of
+	// the on and off states.
+	OnMeanSec  float64
+	OffMeanSec float64
+	// StartOn starts the gate open (a burst at t=0).
+	StartOn bool
+}
+
+// Bursty gates an inner generator through a seeded two-state on/off
+// process: during off dwells the thread demands nothing (its hardware
+// thread halts), reproducing batch arrivals and think-time gaps at the
+// node level.
+type Bursty struct {
+	inner Generator
+	cfg   BurstyConfig
+
+	init  bool
+	on    bool
+	until float64
+}
+
+// NewBursty validates the config and wraps inner.
+func NewBursty(inner Generator, cfg BurstyConfig) (*Bursty, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("workload: bursty needs an inner generator")
+	}
+	if !(cfg.OnMeanSec > 0) || !(cfg.OffMeanSec > 0) ||
+		math.IsInf(cfg.OnMeanSec, 0) || math.IsInf(cfg.OffMeanSec, 0) {
+		return nil, fmt.Errorf("workload: bursty dwell times must be positive, got on=%v off=%v", cfg.OnMeanSec, cfg.OffMeanSec)
+	}
+	return &Bursty{inner: inner, cfg: cfg}, nil
+}
+
+// Name implements Generator.
+func (g *Bursty) Name() string { return "bursty:" + g.inner.Name() }
+
+// Demand implements Generator.
+func (g *Bursty) Demand(t float64, env Env, rng *sim.RNG) Demand {
+	if !g.init {
+		g.init = true
+		g.on = g.cfg.StartOn
+		g.until = t + g.dwell(rng)
+	}
+	for t >= g.until {
+		g.on = !g.on
+		g.until += g.dwell(rng)
+	}
+	if !g.on {
+		return Demand{}
+	}
+	return g.inner.Demand(t, env, rng)
+}
+
+// dwell draws the next state duration, floored so a pathological draw
+// cannot stall the flip loop.
+func (g *Bursty) dwell(rng *sim.RNG) float64 {
+	mean := g.cfg.OffMeanSec
+	if g.on {
+		mean = g.cfg.OnMeanSec
+	}
+	return math.Max(rng.Exp(mean), 1e-3)
+}
