@@ -1,0 +1,84 @@
+package wtrace
+
+import (
+	"testing"
+
+	"trickledown/internal/align"
+	"trickledown/internal/machine"
+	"trickledown/internal/sim"
+	"trickledown/internal/workload"
+)
+
+// TestMixedRecordReplayLiveEquality replicates cmd/tdpower's
+// -placement + -record-wtrace path (wrapPlacements) and checks the
+// replayed dataset against the live run's.
+func TestMixedRecordReplayLiveEquality(t *testing.T) {
+	cfg := machine.DefaultConfig()
+	cfg.Seed = 7
+	placements := []machine.Placement{
+		{Workload: "gcc", Thread: 0},
+		{Workload: "dbt-2", Thread: 2, StartSec: 1},
+	}
+	rec, err := NewRecorder("mixed", 1/cfg.Slice.Seconds(), cfg.NumCPUs*cfg.ThreadsPerCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]float64{}
+	for i := range placements {
+		pl := &placements[i]
+		spec, err := workload.ByName(pl.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[spec.Name] = spec.ChipsetDomainBias
+		inner := spec.Make
+		thread, start := pl.Thread, pl.StartSec
+		wspec := spec
+		wspec.Make = func(instance int, rng *sim.RNG) workload.Generator {
+			g := inner(instance, rng)
+			w, err := rec.Wrap(thread, start, g)
+			if err != nil {
+				return g
+			}
+			return w
+		}
+		pl.Spec = &wspec
+	}
+	var bias float64
+	for _, b := range seen {
+		bias += b
+	}
+	rec.SetChipsetBias(bias / float64(len(seen)))
+
+	live, err := machine.NewMixed(cfg, placements)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live.Run(10)
+	liveDS, err := live.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveFP := align.Fingerprint(liveDS)
+
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpl, err := tr.Placements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := machine.NewMixed(cfg, rpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay.Run(10)
+	rpDS, err := replay.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpFP := align.Fingerprint(rpDS); rpFP != liveFP {
+		t.Errorf("mixed replay dataset %s != live dataset %s", rpFP, liveFP)
+	}
+}
